@@ -1,0 +1,59 @@
+"""A2 — ablation: node arrival order.
+
+The paper streams nodes to SBM-Part in random order.  This ablation
+compares random, natural, BFS and degree-sorted arrival on the same
+instance, quantifying the order sensitivity inherent to streaming
+algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fixed_k, lfr_sizes, run_protocol
+from conftest import print_table
+
+ORDERS = ("random", "natural", "bfs", "degree_desc", "degree_asc")
+
+
+@pytest.fixture(scope="module")
+def results():
+    size = lfr_sizes()[1]
+    return {
+        order: run_protocol(
+            "lfr", size, fixed_k(), seed=0, order_kind=order
+        )
+        for order in ORDERS
+    }
+
+
+def test_order_ablation(benchmark, results):
+    size = lfr_sizes()[1]
+
+    def run_random():
+        return run_protocol(
+            "lfr", size, fixed_k(), seed=0, order_kind="random"
+        )
+
+    benchmark.pedantic(run_random, rounds=1, iterations=1)
+
+    rows = [
+        {"order": order, **result.row()}
+        for order, result in results.items()
+    ]
+    print_table("A2 — arrival order ablation (LFR, k=16)", rows)
+
+    ks = {o: r.comparison.ks for o, r in results.items()}
+    # Every order must stay in a usable range on LFR — the algorithm
+    # cannot be so order-sensitive that some order breaks it outright.
+    for order, value in ks.items():
+        assert value < 0.45, (order, value)
+    # The paper's choice (random) must be in the usable band.  Note
+    # the measured finding: *natural* order can win on LFR because
+    # LFR assigns node ids community by community, which effectively
+    # streams whole communities contiguously.
+    assert ks["random"] < 0.3
+
+    benchmark.extra_info.update(
+        {o: round(v, 4) for o, v in ks.items()}
+    )

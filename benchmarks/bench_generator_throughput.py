@@ -1,0 +1,80 @@
+"""Supplementary: structure generator and property generator throughput.
+
+The paper's "others" requirement is scalability; these benches record
+edges/second for each SG and values/second for representative PGs so
+regressions in the hot paths are visible in the benchmark history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prng import RandomStream
+from repro.properties import (
+    CategoricalGenerator,
+    DateRangeGenerator,
+    UniformIntGenerator,
+)
+from repro.structure import create_generator
+from conftest import print_table
+
+N_NODES = 20_000
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [
+        ("erdos_renyi_m", {"edges_per_node": 8}),
+        ("configuration", {"distribution": None}),
+        ("bter", {"avg_degree": 16, "max_degree": 40}),
+        ("darwini", {"avg_degree": 16, "max_degree": 40}),
+        ("lfr", {"avg_degree": 16, "max_degree": 40, "mu": 0.1}),
+    ],
+)
+def test_structure_generator_throughput(benchmark, name, params):
+    if name == "configuration":
+        from repro.stats import PowerLaw
+
+        params = {"distribution": PowerLaw(2.0, 4, 40)}
+    generator = create_generator(name, seed=1, **params)
+
+    table = benchmark.pedantic(
+        lambda: generator.run(N_NODES), rounds=1, iterations=1
+    )
+    benchmark.extra_info["edges"] = table.num_edges
+    print(f"\n{name}: {table.num_edges} edges from {N_NODES} nodes")
+    assert table.num_edges > 0
+
+
+def test_rmat_throughput(benchmark):
+    generator = create_generator("rmat", seed=1)
+    table = benchmark.pedantic(
+        lambda: generator.run_scale(15), rounds=1, iterations=1
+    )
+    benchmark.extra_info["edges"] = table.num_edges
+    assert table.num_edges > 100_000
+
+
+@pytest.mark.parametrize(
+    "label,generator",
+    [
+        (
+            "categorical",
+            CategoricalGenerator(
+                values=list("abcdefgh"), weights=[8, 7, 6, 5, 4, 3, 2, 1]
+            ),
+        ),
+        ("uniform_int", UniformIntGenerator(low=0, high=1000)),
+        ("date_range", DateRangeGenerator(start=0, end=10**9)),
+    ],
+)
+def test_property_generator_throughput(benchmark, label, generator):
+    ids = np.arange(200_000, dtype=np.int64)
+    stream = RandomStream(7, label)
+
+    values = benchmark.pedantic(
+        lambda: generator.run_many(ids, stream), rounds=1, iterations=1
+    )
+    assert len(values) == ids.size
+    benchmark.extra_info["values"] = ids.size

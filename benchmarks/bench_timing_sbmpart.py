@@ -1,0 +1,93 @@
+"""P1 — the in-text performance claim of Section 4.2.
+
+"it takes about 1100s to process the largest problem, RMAT-22 (with 67M
+of edges) and 64 values, using a single thread ... No optimizations of
+any kind have been implemented."
+
+This bench times SBM-Part across R-MAT scales and k values, prints
+per-edge throughput, and extrapolates the fitted linear cost model to
+the paper's configuration for a side-by-side with the reported 1100 s.
+Absolute numbers are testbed-specific; the assertions check the *cost
+model* (near-linear scaling in m + n k) rather than wall-clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    extrapolate_to_paper,
+    rmat_scales,
+    time_sbm_part,
+)
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    scales = rmat_scales()
+    rows = []
+    for scale in scales[:2]:
+        rows.append(time_sbm_part("rmat", scale, 16, seed=0))
+    # k sweep on the smallest scale.
+    for k in (4, 64):
+        rows.append(time_sbm_part("rmat", scales[0], k, seed=0))
+    return rows
+
+
+def test_timing_and_extrapolation(benchmark, measurements):
+    smallest = rmat_scales()[0]
+
+    def run_once():
+        return time_sbm_part("rmat", smallest, 16, seed=0)
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+
+    rows = [m.row() for m in measurements]
+    extrapolated = extrapolate_to_paper(measurements[0])
+    rows.append(
+        {
+            "graph": "rmat-22 (paper cfg, extrapolated)",
+            "k": 64,
+            "n": 1 << 22,
+            "m": 67_000_000,
+            "seconds": round(
+                extrapolated["predicted_paper_seconds"], 1
+            ),
+            "edges_per_s": "-",
+        }
+    )
+    rows.append(
+        {
+            "graph": "rmat-22 (paper reported, Xeon E-2630v3)",
+            "k": 64,
+            "n": 1 << 22,
+            "m": 67_000_000,
+            "seconds": extrapolated["paper_reported_seconds"],
+            "edges_per_s": "-",
+        }
+    )
+    print_table("P1 — SBM-Part timing", rows)
+
+    # Cost model check: doubling the scale (~2x nodes and edges) must
+    # not blow up superlinearly (allow 3.5x for constant overheads).
+    small, large = measurements[0], measurements[1]
+    ops_ratio = (
+        (large.num_edges + large.num_nodes * large.k)
+        / (small.num_edges + small.num_nodes * small.k)
+    )
+    time_ratio = large.seconds / small.seconds
+    assert time_ratio < 3.5 * ops_ratio
+
+    # k sweep: k=64 costs more than k=4 but sub-quadratically in k.
+    k4 = next(m for m in measurements if m.k == 4)
+    k64 = next(m for m in measurements if m.k == 64)
+    assert k64.seconds < 30 * k4.seconds
+
+    benchmark.extra_info["predicted_paper_seconds"] = round(
+        extrapolated["predicted_paper_seconds"], 1
+    )
+    benchmark.extra_info["paper_reported_seconds"] = 1100.0
+    benchmark.extra_info["edges_per_second"] = int(
+        result.edges_per_second
+    )

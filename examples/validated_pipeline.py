@@ -1,0 +1,107 @@
+"""A production-shaped pipeline: generate → validate → export → report.
+
+Combines the pieces a benchmark team would actually wire together:
+
+1. generate the social network with a multi-valued ``interests``
+   property (paper §5 future work);
+2. audit the dataset with the standard schema-derived checks plus
+   custom ones (degree bands, key uniqueness);
+3. measure the interest co-occurrence joint over friendships
+   (multi-valued joint measurement);
+4. export to CSV only if the audit passes.
+
+Run:  python examples/validated_pipeline.py [output_dir]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import GraphGenerator, social_network_schema
+from repro.core.schema import GeneratorSpec, PropertyDef
+from repro.datasets import INTERESTS
+from repro.io import export_graph_csv
+from repro.stats import empirical_multivalue_joint, encode_value_sets
+from repro.validation import (
+    DegreeDistributionCheck,
+    UniquenessCheck,
+    standard_checks,
+    validate,
+)
+
+
+def build_schema():
+    """The Figure-1 schema plus a multi-valued interests property and
+    a unique handle."""
+    schema = social_network_schema(num_countries=12)
+    person = schema.node_type("Person")
+    person.properties.append(
+        PropertyDef(
+            "interests",
+            "string",  # object column of tuples
+            GeneratorSpec(
+                "multi_value",
+                {
+                    "values": INTERESTS[:12],
+                    "min_size": 1,
+                    "max_size": 4,
+                    "exponent": 1.2,
+                },
+            ),
+        )
+    )
+    person.properties.append(
+        PropertyDef(
+            "handle",
+            "string",
+            GeneratorSpec("composite_key", {"prefix": "person"}),
+        )
+    )
+    return schema
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else None
+    schema = build_schema()
+    print("generating ...")
+    graph = GraphGenerator(schema, {"Person": 4_000}, seed=3).generate()
+    print("generated:", graph.summary())
+
+    checks = standard_checks(schema)
+    checks.append(
+        DegreeDistributionCheck(
+            "knows", min_mean=8, max_mean=25, max_degree=50
+        )
+    )
+    checks.append(UniquenessCheck("Person", "handle"))
+    report = validate(graph, checks)
+    print("\naudit:")
+    print(report)
+    if not report.passed:
+        raise SystemExit("audit failed; not exporting")
+
+    # Multi-valued joint: which interests co-occur across friendships?
+    interests = graph.node_property("Person", "interests").values
+    encoded, universe = encode_value_sets(list(interests))
+    knows = graph.edges("knows")
+    joint = empirical_multivalue_joint(
+        knows.tails, knows.heads, encoded, k=len(universe)
+    )
+    marginal = joint.marginal()
+    top = np.argsort(-marginal)[:3]
+    print("\ntop interests at friendship endpoints:")
+    for code in top:
+        print(f"  {universe[code]}: {marginal[code]:.1%}")
+    same = float(np.trace(joint.matrix))
+    print(f"shared-interest friendship mass: {same:.1%} "
+          "(uncorrelated by construction — interests were not matched)")
+
+    if out_dir:
+        written = export_graph_csv(graph, out_dir)
+        print(f"\nwrote {len(written)} CSV files to {out_dir}")
+    else:
+        print("\n(no output dir given; skipping export)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+``datasynth generate schema.dsl --scale Person=10000 --out data/``
+parses a DSL schema, generates the graph, and exports it.  A second
+subcommand runs the paper's evaluation protocol for quick inspection::
+
+    datasynth protocol --kind lfr --size 10000 --k 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="datasynth",
+        description=(
+            "Property graph generator for benchmarking "
+            "(reproduction of Prat-Pérez et al., 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a property graph from a DSL schema"
+    )
+    generate.add_argument("schema", help="path to the .dsl schema file")
+    generate.add_argument(
+        "--scale",
+        action="append",
+        default=[],
+        metavar="TYPE=COUNT",
+        help="scale anchors (repeatable); override the DSL scale block",
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--out", default="datasynth-out", help="output directory"
+    )
+    generate.add_argument(
+        "--format",
+        choices=("csv", "jsonl", "edgelist"),
+        default="csv",
+    )
+
+    protocol = sub.add_parser(
+        "protocol",
+        help="run the Figure-3/4 matching-quality protocol once",
+    )
+    protocol.add_argument(
+        "--kind", choices=("lfr", "rmat"), default="lfr"
+    )
+    protocol.add_argument(
+        "--size",
+        type=int,
+        default=10_000,
+        help="node count (lfr) or scale exponent (rmat)",
+    )
+    protocol.add_argument("--k", type=int, default=16)
+    protocol.add_argument("--seed", type=int, default=0)
+    protocol.add_argument(
+        "--matcher",
+        choices=("sbm_part", "random", "ldg", "greedy"),
+        default="sbm_part",
+    )
+    protocol.add_argument(
+        "--points", type=int, default=20,
+        help="CDF sample points to print",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="run the experiment sweep and write a markdown report",
+    )
+    report.add_argument("--out", default="report.md")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--quick", action="store_true",
+        help="skip Figure 4 and the ablation (faster)",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="generate the running example and audit its contracts",
+    )
+    validate.add_argument("--persons", type=int, default=2_000)
+    validate.add_argument("--seed", type=int, default=0)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="print the structural profile of an edge-list file",
+    )
+    analyze.add_argument("path", help="edge-list file (tail head rows)")
+    analyze.add_argument(
+        "--no-clustering", action="store_true",
+        help="skip the O(m * d) clustering computation",
+    )
+
+    example = sub.add_parser(
+        "example",
+        help="generate the running-example social network",
+    )
+    example.add_argument("--persons", type=int, default=10_000)
+    example.add_argument("--seed", type=int, default=0)
+    example.add_argument("--out", default=None)
+    return parser
+
+
+def _parse_scale(entries):
+    scale = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise SystemExit(
+                f"--scale expects TYPE=COUNT, got {entry!r}"
+            )
+        key, _, count = entry.partition("=")
+        scale[key.strip()] = int(count)
+    return scale
+
+
+def _cmd_generate(args):
+    from .core import GraphGenerator
+    from .core.dsl import load_schema
+    from .io import export_graph_csv, export_graph_jsonl, write_edgelist
+
+    with open(args.schema) as handle:
+        source = handle.read()
+    schema, dsl_scale, graph_name = load_schema(source)
+    scale = dict(dsl_scale)
+    scale.update(_parse_scale(args.scale))
+    if not scale:
+        raise SystemExit(
+            "no scale given: add a DSL scale block or --scale TYPE=COUNT"
+        )
+    graph = GraphGenerator(schema, scale, seed=args.seed).generate()
+    print(f"generated graph {graph_name!r}: {graph.summary()}")
+    if args.format == "csv":
+        written = export_graph_csv(graph, args.out)
+    elif args.format == "jsonl":
+        written = export_graph_jsonl(graph, args.out)
+    else:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        written = [
+            write_edgelist(table, out / f"{name}.edges")
+            for name, table in graph.edge_tables.items()
+        ]
+    for path in written:
+        print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_protocol(args):
+    from .experiments import run_protocol
+
+    result = run_protocol(
+        args.kind, args.size, args.k,
+        seed=args.seed, matcher=args.matcher,
+    )
+    print(f"{result.label} matcher={args.matcher}")
+    for key, value in result.row().items():
+        print(f"  {key}: {value}")
+    idx, expected, observed = result.comparison.series(args.points)
+    print("  pair-rank expected-cdf observed-cdf")
+    for i, e, o in zip(idx, expected, observed):
+        print(f"  {int(i):9d} {e:12.4f} {o:12.4f}")
+    return 0
+
+
+def _cmd_example(args):
+    from .core import GraphGenerator
+    from .datasets import social_network_schema
+    from .io import export_graph_csv
+
+    schema = social_network_schema(num_countries=16)
+    graph = GraphGenerator(
+        schema, {"Person": args.persons}, seed=args.seed
+    ).generate()
+    print(f"running example: {graph.summary()}")
+    match = graph.match_results.get("knows")
+    if match is not None:
+        print(f"  knows matching Frobenius error: "
+              f"{match.frobenius_error:.1f}")
+    if args.out:
+        for path in export_graph_csv(graph, args.out):
+            print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_analyze(args):
+    from .graphstats import structural_summary
+    from .io import read_edgelist
+
+    table = read_edgelist(args.path)
+    summary = structural_summary(
+        table, clustering=not args.no_clustering
+    )
+    print(f"structural profile of {args.path}:")
+    for key, value in summary.items():
+        if isinstance(value, float):
+            value = round(value, 4)
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_report(args):
+    from .experiments import generate_report
+
+    text = generate_report(
+        seed=args.seed,
+        include_figure4=not args.quick,
+        include_ablation=not args.quick,
+    )
+    with open(args.out, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_validate(args):
+    from .core import GraphGenerator
+    from .datasets import social_network_schema
+    from .validation import standard_checks, validate
+
+    schema = social_network_schema(num_countries=12)
+    graph = GraphGenerator(
+        schema, {"Person": args.persons}, seed=args.seed
+    ).generate()
+    report = validate(graph, standard_checks(schema))
+    print(report)
+    return 0 if report.passed else 1
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "protocol": _cmd_protocol,
+        "example": _cmd_example,
+        "report": _cmd_report,
+        "validate": _cmd_validate,
+        "analyze": _cmd_analyze,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""DataSynth core: schema, dependency analysis, matching, engine."""
+
+from .dependency import DependencyError, Task, TaskGraph, build_task_graph
+from .engine import GraphGenerator
+from .matching import (
+    BipartiteMatchResult,
+    SbmPartResult,
+    bipartite_sbm_part_match,
+    edge_count_target,
+    greedy_label_match,
+    ldg_degree_match,
+    random_match,
+    sbm_part_assign,
+    sbm_part_match,
+)
+from .result import PropertyGraph
+from .schema import (
+    Cardinality,
+    CorrelationSpec,
+    EdgeType,
+    GeneratorSpec,
+    NodeType,
+    PropertyDef,
+    Schema,
+    SchemaError,
+)
+
+__all__ = [
+    "BipartiteMatchResult",
+    "Cardinality",
+    "CorrelationSpec",
+    "DependencyError",
+    "EdgeType",
+    "GeneratorSpec",
+    "GraphGenerator",
+    "NodeType",
+    "PropertyDef",
+    "PropertyGraph",
+    "SbmPartResult",
+    "Schema",
+    "SchemaError",
+    "Task",
+    "TaskGraph",
+    "bipartite_sbm_part_match",
+    "build_task_graph",
+    "edge_count_target",
+    "greedy_label_match",
+    "ldg_degree_match",
+    "random_match",
+    "sbm_part_assign",
+    "sbm_part_match",
+]

@@ -1,0 +1,51 @@
+"""The DataSynth schema DSL.
+
+A small curly-brace language covering all the requirements of Section 2
+(schema, structure, distributions, scale factor).  Example::
+
+    graph social {
+      node Person {
+        country: string = categorical(values=@countries,
+                                      weights=@weights)
+        sex:     string = categorical(values=["female", "male"])
+        name:    string = conditional(table=@names) depends (country, sex)
+        creationDate: date = date_range(start=1262304000,
+                                        end=1483228800)
+      }
+      node Message {
+        topic: string = weighted_dict(values=@topics)
+      }
+      edge knows: Person -- Person [*..*] {
+        structure = lfr(avg_degree=20, max_degree=50, mu=0.1)
+        correlate country joint @country_joint values @countries
+        creationDate: date = after_dependency(min_gap=1)
+            depends (tail.creationDate, head.creationDate)
+      }
+      edge creates: Person -> Message [1..*] {
+        structure = one_to_many(degree_distribution=@d_creates)
+        creationDate: date = after_dependency(min_gap=1)
+            depends (tail.creationDate)
+      }
+      scale { Person = 10000 }
+    }
+
+``@name`` references resolve against the environment dict passed to
+:func:`load_schema` — the channel for non-literal parameters such as
+distribution objects and joint matrices.
+"""
+
+from .compiler import compile_schema, load_schema
+from .errors import DslCompileError, DslError, DslSyntaxError
+from .parser import parse
+from .tokenizer import Token, tokenize
+
+__all__ = [
+    "DslCompileError",
+    "DslError",
+    "DslSyntaxError",
+    "Token",
+    "compile_schema",
+    "load_schema",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,106 @@
+"""AST node dataclasses for the schema DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CallNode",
+    "CorrelationNode",
+    "EdgeNode",
+    "GraphNode",
+    "ListNode",
+    "LiteralNode",
+    "NodeTypeNode",
+    "PropertyNode",
+    "RefNode",
+    "ScaleNode",
+]
+
+
+@dataclass
+class LiteralNode:
+    """A literal value: string, number, or boolean."""
+
+    value: object
+
+
+@dataclass
+class RefNode:
+    """An ``@name`` reference into the compile-time environment."""
+
+    name: str
+
+
+@dataclass
+class ListNode:
+    """A ``[item, item, ...]`` literal list."""
+
+    items: list
+
+
+@dataclass
+class CallNode:
+    """A generator invocation ``name(key=value, ...)``."""
+
+    name: str
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class PropertyNode:
+    """A property declaration inside a node or edge block."""
+
+    name: str
+    dtype: str
+    generator: CallNode | None
+    depends_on: list = field(default_factory=list)
+
+
+@dataclass
+class NodeTypeNode:
+    """A ``node Name { ... }`` block."""
+
+    name: str
+    properties: list = field(default_factory=list)
+
+
+@dataclass
+class CorrelationNode:
+    """``correlate prop [with head_prop] joint <expr>``."""
+
+    tail_property: str
+    joint: object
+    head_property: str | None = None
+    values: object = None
+
+
+@dataclass
+class EdgeNode:
+    """An ``edge name: Tail --/-> Head [card] { ... }`` block."""
+
+    name: str
+    tail_type: str
+    head_type: str
+    directed: bool
+    cardinality: str
+    structure: CallNode | None = None
+    correlation: CorrelationNode | None = None
+    properties: list = field(default_factory=list)
+
+
+@dataclass
+class ScaleNode:
+    """A ``scale { Type = count, ... }`` block."""
+
+    entries: dict = field(default_factory=dict)
+
+
+@dataclass
+class GraphNode:
+    """The root: ``graph name { ... }``."""
+
+    name: str
+    node_types: list = field(default_factory=list)
+    edge_types: list = field(default_factory=list)
+    scale: ScaleNode | None = None

@@ -1,0 +1,22 @@
+"""DSL error types with source positions."""
+
+from __future__ import annotations
+
+__all__ = ["DslError", "DslSyntaxError", "DslCompileError"]
+
+
+class DslError(ValueError):
+    """Base class for DSL failures."""
+
+
+class DslSyntaxError(DslError):
+    """Tokenizer/parser failure, annotated with line and column."""
+
+    def __init__(self, message, line, column):
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class DslCompileError(DslError):
+    """Semantic failure while lowering the AST to a Schema."""

@@ -1,0 +1,268 @@
+"""Recursive-descent parser for the schema DSL.
+
+Grammar (EBNF-ish)::
+
+    graph       := "graph" NAME "{" item* "}"
+    item        := node | edge | scale
+    node        := "node" NAME "{" property* "}"
+    edge        := "edge" NAME ":" NAME ("--" | "->") NAME
+                   "[" cardinality "]" "{" edge_item* "}"
+    cardinality := ("1" | "*") ".." ("1" | "*")
+    edge_item   := structure | correlate | property
+    structure   := "structure" "=" call
+    correlate   := "correlate" NAME ("with" NAME)? "joint" expr
+                   ("values" expr)?
+    property    := NAME ":" NAME ("=" call)? ("depends" "(" deps ")")?
+    deps        := dep ("," dep)*       dep := NAME ("." NAME)?
+    call        := NAME "(" (NAME "=" expr ("," NAME "=" expr)*)? ")"
+    expr        := STRING | NUMBER | BOOL | "@" NAME | list
+    list        := "[" (expr ("," expr)*)? "]"
+    scale       := "scale" "{" (NAME "=" NUMBER)* "}"
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    CallNode,
+    CorrelationNode,
+    EdgeNode,
+    GraphNode,
+    ListNode,
+    LiteralNode,
+    NodeTypeNode,
+    PropertyNode,
+    RefNode,
+    ScaleNode,
+)
+from .errors import DslSyntaxError
+from .tokenizer import tokenize
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.position + offset,
+                               len(self.tokens) - 1)]
+
+    def advance(self):
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def error(self, message, token=None):
+        token = token or self.peek()
+        raise DslSyntaxError(
+            f"{message} (found {token.describe()})",
+            token.line,
+            token.column,
+        )
+
+    def expect(self, kind, value=None):
+        token = self.peek()
+        if token.kind != kind or (value is not None
+                                  and token.value != value):
+            wanted = value if value is not None else kind
+            self.error(f"expected {wanted!r}", token)
+        return self.advance()
+
+    def accept(self, kind, value=None):
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect_word(self):
+        """A NAME or keyword used as a plain identifier (kwarg keys,
+        scale entries, dependency segments)."""
+        token = self.peek()
+        if token.kind in ("NAME", "KEYWORD"):
+            self.advance()
+            return token.value
+        self.error("expected an identifier", token)
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_graph(self):
+        self.expect("KEYWORD", "graph")
+        name = self.expect("NAME").value
+        self.expect("LBRACE")
+        graph = GraphNode(name)
+        while not self.accept("RBRACE"):
+            token = self.peek()
+            if token.kind == "KEYWORD" and token.value == "node":
+                graph.node_types.append(self.parse_node())
+            elif token.kind == "KEYWORD" and token.value == "edge":
+                graph.edge_types.append(self.parse_edge())
+            elif token.kind == "KEYWORD" and token.value == "scale":
+                if graph.scale is not None:
+                    self.error("duplicate scale block", token)
+                graph.scale = self.parse_scale()
+            else:
+                self.error("expected node, edge or scale", token)
+        self.expect("EOF")
+        return graph
+
+    def parse_node(self):
+        self.expect("KEYWORD", "node")
+        name = self.expect("NAME").value
+        self.expect("LBRACE")
+        node = NodeTypeNode(name)
+        while not self.accept("RBRACE"):
+            node.properties.append(self.parse_property())
+        return node
+
+    def parse_edge(self):
+        self.expect("KEYWORD", "edge")
+        name = self.expect("NAME").value
+        self.expect("COLON")
+        tail = self.expect("NAME").value
+        arrow = self.peek()
+        if arrow.kind == "UNDIRECTED":
+            directed = False
+        elif arrow.kind == "DIRECTED":
+            directed = True
+        else:
+            self.error("expected -- or ->", arrow)
+        self.advance()
+        head = self.expect("NAME").value
+        self.expect("LBRACKET")
+        cardinality = self.parse_cardinality()
+        self.expect("RBRACKET")
+        self.expect("LBRACE")
+        edge = EdgeNode(name, tail, head, directed, cardinality)
+        while not self.accept("RBRACE"):
+            token = self.peek()
+            if token.kind == "KEYWORD" and token.value == "structure":
+                if edge.structure is not None:
+                    self.error("duplicate structure clause", token)
+                self.advance()
+                self.expect("EQUALS")
+                edge.structure = self.parse_call()
+            elif token.kind == "KEYWORD" and token.value == "correlate":
+                if edge.correlation is not None:
+                    self.error("duplicate correlate clause", token)
+                edge.correlation = self.parse_correlate()
+            else:
+                edge.properties.append(self.parse_property())
+        return edge
+
+    def parse_cardinality(self):
+        def side():
+            token = self.peek()
+            if token.kind == "STAR":
+                self.advance()
+                return "*"
+            if token.kind == "NUMBER" and token.value == 1:
+                self.advance()
+                return "1"
+            self.error("expected 1 or *", token)
+
+        left = side()
+        self.expect("RANGE")
+        right = side()
+        return f"{left}..{right}"
+
+    def parse_correlate(self):
+        self.expect("KEYWORD", "correlate")
+        tail_prop = self.expect("NAME").value
+        head_prop = None
+        if self.accept("KEYWORD", "with"):
+            head_prop = self.expect("NAME").value
+        self.expect("KEYWORD", "joint")
+        joint = self.parse_expr()
+        values = None
+        if self.accept("KEYWORD", "values"):
+            values = self.parse_expr()
+        return CorrelationNode(tail_prop, joint, head_prop, values)
+
+    def parse_property(self):
+        name_token = self.peek()
+        if name_token.kind == "KEYWORD":
+            # Allow keyword-looking property names only where unambiguous.
+            self.error("unexpected keyword", name_token)
+        name = self.expect("NAME").value
+        self.expect("COLON")
+        dtype = self.expect("NAME").value
+        generator = None
+        if self.accept("EQUALS"):
+            generator = self.parse_call()
+        depends = []
+        if self.accept("KEYWORD", "depends"):
+            self.expect("LPAREN")
+            depends.append(self.parse_dependency())
+            while self.accept("COMMA"):
+                depends.append(self.parse_dependency())
+            self.expect("RPAREN")
+        return PropertyNode(name, dtype, generator, depends)
+
+    def parse_dependency(self):
+        base = self.expect_word()
+        if self.accept("DOT"):
+            suffix = self.expect_word()
+            return f"{base}.{suffix}"
+        return base
+
+    def parse_call(self):
+        name = self.expect("NAME").value
+        self.expect("LPAREN")
+        kwargs = {}
+        if not self.accept("RPAREN"):
+            while True:
+                key = self.expect_word()
+                self.expect("EQUALS")
+                if key in kwargs:
+                    self.error(f"duplicate argument {key!r}")
+                kwargs[key] = self.parse_expr()
+                if self.accept("RPAREN"):
+                    break
+                self.expect("COMMA")
+        return CallNode(name, kwargs)
+
+    def parse_expr(self):
+        token = self.peek()
+        if token.kind == "STRING" or token.kind == "NUMBER" \
+                or token.kind == "BOOL":
+            self.advance()
+            return LiteralNode(token.value)
+        if token.kind == "AT":
+            self.advance()
+            name = self.expect_word()
+            return RefNode(name)
+        if token.kind == "LBRACKET":
+            self.advance()
+            items = []
+            if not self.accept("RBRACKET"):
+                items.append(self.parse_expr())
+                while self.accept("COMMA"):
+                    items.append(self.parse_expr())
+                self.expect("RBRACKET")
+            return ListNode(items)
+        self.error("expected a value", token)
+
+    def parse_scale(self):
+        self.expect("KEYWORD", "scale")
+        self.expect("LBRACE")
+        scale = ScaleNode()
+        while not self.accept("RBRACE"):
+            name = self.expect_word()
+            self.expect("EQUALS")
+            count = self.expect("NUMBER").value
+            if not isinstance(count, int) or count < 0:
+                self.error("scale counts must be nonnegative integers")
+            if name in scale.entries:
+                self.error(f"duplicate scale entry {name!r}")
+            scale.entries[name] = count
+        return scale
+
+
+def parse(text):
+    """Parse DSL source into a :class:`GraphNode` AST."""
+    return _Parser(tokenize(text)).parse_graph()

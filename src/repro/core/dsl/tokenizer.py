@@ -1,0 +1,196 @@
+"""Tokenizer for the DataSynth schema DSL.
+
+The DSL is a small curly-brace language (see :mod:`repro.core.dsl` for
+the grammar).  The tokenizer produces a flat list of
+:class:`Token` with line/column positions for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import DslSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "graph",
+    "node",
+    "edge",
+    "structure",
+    "correlate",
+    "joint",
+    "with",
+    "depends",
+    "scale",
+    "true",
+    "false",
+    "values",
+}
+
+_PUNCTUATION = {
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ":": "COLON",
+    "=": "EQUALS",
+    ",": "COMMA",
+    "@": "AT",
+    ".": "DOT",
+    "*": "STAR",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit: ``kind`` is NAME/KEYWORD/STRING/NUMBER/...,
+    ``value`` the decoded payload."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def describe(self):
+        return f"{self.kind}({self.value!r})"
+
+
+def tokenize(text):
+    """Convert DSL source text to a token list (EOF token appended)."""
+    tokens = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(text)
+
+    def error(message):
+        raise DslSyntaxError(message, line, column)
+
+    while i < length:
+        ch = text[i]
+        # Whitespace / newlines.
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        # Comments: '#' or '//' to end of line.
+        if ch == "#" or text.startswith("//", i):
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+        # Arrows and ranges.
+        if text.startswith("--", i):
+            tokens.append(Token("UNDIRECTED", "--", line, column))
+            i += 2
+            column += 2
+            continue
+        if text.startswith("->", i):
+            tokens.append(Token("DIRECTED", "->", line, column))
+            i += 2
+            column += 2
+            continue
+        if text.startswith("..", i):
+            tokens.append(Token("RANGE", "..", line, column))
+            i += 2
+            column += 2
+            continue
+        # Strings.
+        if ch in "'\"":
+            quote = ch
+            start_line, start_col = line, column
+            i += 1
+            column += 1
+            chars = []
+            while i < length and text[i] != quote:
+                if text[i] == "\n":
+                    raise DslSyntaxError(
+                        "unterminated string", start_line, start_col
+                    )
+                if text[i] == "\\" and i + 1 < length:
+                    escape = text[i + 1]
+                    mapped = {"n": "\n", "t": "\t", quote: quote,
+                              "\\": "\\"}.get(escape)
+                    if mapped is None:
+                        raise DslSyntaxError(
+                            f"bad escape \\{escape}", line, column
+                        )
+                    chars.append(mapped)
+                    i += 2
+                    column += 2
+                    continue
+                chars.append(text[i])
+                i += 1
+                column += 1
+            if i >= length:
+                raise DslSyntaxError(
+                    "unterminated string", start_line, start_col
+                )
+            i += 1
+            column += 1
+            tokens.append(
+                Token("STRING", "".join(chars), start_line, start_col)
+            )
+            continue
+        # Numbers (ints, floats, scientific, leading minus).
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < length and (text[i + 1].isdigit()
+                                              or text[i + 1] == ".")
+        ):
+            start = i
+            start_col = column
+            i += 1
+            column += 1
+            is_float = False
+            while i < length and (
+                text[i].isdigit()
+                or (text[i] == "." and not text.startswith("..", i))
+                or text[i] in "eE"
+                or (text[i] in "+-" and text[i - 1] in "eE")
+            ):
+                if text[i] == "." or text[i] in "eE":
+                    is_float = True
+                i += 1
+                column += 1
+            literal = text[start:i]
+            try:
+                value = float(literal) if is_float else int(literal)
+            except ValueError:
+                raise DslSyntaxError(
+                    f"bad number literal {literal!r}", line, start_col
+                ) from None
+            tokens.append(Token("NUMBER", value, line, start_col))
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = column
+            while i < length and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+                column += 1
+            word = text[start:i]
+            if word in ("true", "false"):
+                tokens.append(
+                    Token("BOOL", word == "true", line, start_col)
+                )
+            elif word in KEYWORDS:
+                tokens.append(Token("KEYWORD", word, line, start_col))
+            else:
+                tokens.append(Token("NAME", word, line, start_col))
+            continue
+        # Punctuation.
+        if ch in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[ch], ch, line, column))
+            i += 1
+            column += 1
+            continue
+        error(f"unexpected character {ch!r}")
+    tokens.append(Token("EOF", None, line, column))
+    return tokens

@@ -1,0 +1,20 @@
+"""Property-to-node matching: SBM-Part and its baselines (Section 4.2)."""
+
+from .baselines import greedy_label_match, ldg_degree_match
+from .bipartite import BipartiteMatchResult, bipartite_sbm_part_match
+from .random_matching import random_match
+from .sbm_part import SbmPartResult, sbm_part_assign, sbm_part_match
+from .targets import bipartite_edge_count_target, edge_count_target
+
+__all__ = [
+    "BipartiteMatchResult",
+    "SbmPartResult",
+    "bipartite_edge_count_target",
+    "bipartite_sbm_part_match",
+    "edge_count_target",
+    "greedy_label_match",
+    "ldg_degree_match",
+    "random_match",
+    "sbm_part_assign",
+    "sbm_part_match",
+]

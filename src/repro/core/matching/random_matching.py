@@ -1,0 +1,36 @@
+"""Random matching: the uncorrelated path of Section 4.2.
+
+"In those cases where an edge type is not correlated with any property,
+the matching is done randomly."  A random bijection between structure
+node ids and PT row ids; also the natural baseline for the matcher
+ablation (A1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...prng import RandomStream
+
+__all__ = ["random_match"]
+
+
+def random_match(ptable, table, seed=0):
+    """Uniform random bijection from structure nodes to PT rows.
+
+    Requires ``len(ptable) >= table.num_nodes``; surplus rows stay
+    unused (they correspond to entities that simply have no edges of
+    this type).
+
+    Returns
+    -------
+    (n,) int64 mapping ``f`` (structure node id -> PT row id).
+    """
+    n = table.num_nodes
+    if len(ptable) < n:
+        raise ValueError(
+            f"PT {ptable.name!r} has {len(ptable)} rows but the structure "
+            f"has {n} nodes"
+        )
+    stream = RandomStream(seed, f"random_match.{ptable.name}")
+    return stream.permutation(len(ptable))[:n]

@@ -1,0 +1,336 @@
+"""SBM-Part: the paper's property-to-node matching algorithm (Section 4.2).
+
+The problem: given a generated graph structure ``g``, a property table
+``p`` whose values induce groups of sizes ``Q = {q_0..q_{k-1}}``, and a
+target joint distribution ``P(X, Y)``, assign each structure node a row
+of ``p`` so that the joint distribution observed over the edges of ``g``
+approximates ``P``.
+
+The algorithm is a variation of LDG streaming partitioning: nodes arrive
+one at a time with their edges; the arriving node is placed into the
+group ``t`` minimising the Frobenius distance between the updated
+inter-group edge-count matrix ``W_t`` and the target ``W``:
+
+    argmin_t || W_t - W ||_F^2
+
+with the score balanced by the remaining group capacity
+``(1 - s_t / q_t)`` exactly as in LDG.  Our implementation computes the
+Frobenius *delta* incrementally: placing node ``v`` with ``c_j``
+already-placed neighbours in group ``j`` only perturbs row/column ``t``,
+so the delta for every candidate ``t`` is computable in O(k) total
+per candidate — O(k^2 + deg(v)) per node, O(n k^2 + m) overall, and in
+vectorised form the k candidates are evaluated at once.
+
+Two implementation choices resolve ambiguities the paper leaves open
+(both improve measured quality on the paper's own protocol and are
+exercised by the ablation benchmarks):
+
+* **cold start** — a node with no placed neighbours has identical
+  (zero) delta for every group; it is spread proportionally to
+  remaining capacity rather than sent to the emptiest group, avoiding
+  a deterministic pile-up in the largest group at stream start;
+* **negative-gain balancing** — the LDG capacity factor multiplies
+  nonnegative scores; for negative gains (every choice makes the
+  matrix worse) multiplying by a small remaining-capacity factor would
+  *favour* nearly-full groups, so negative gains are divided by the
+  factor instead, keeping the balancing direction uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .targets import edge_count_target
+
+__all__ = ["SbmPartResult", "sbm_part_assign", "sbm_part_match"]
+
+
+@dataclass
+class SbmPartResult:
+    """Outcome of a monopartite SBM-Part run.
+
+    Attributes
+    ----------
+    assignment:
+        ``(n,)`` group label per structure node.
+    mapping:
+        ``(n,)`` PT row id per structure node (the paper's function
+        ``f``); only set by :func:`sbm_part_match`.
+    target:
+        the ``W`` matrix the run aimed for.
+    achieved:
+        the final inter-group edge-count matrix actually realised.
+    """
+
+    assignment: np.ndarray
+    mapping: np.ndarray | None
+    target: np.ndarray
+    achieved: np.ndarray
+
+    @property
+    def frobenius_error(self):
+        """``||achieved - target||_F`` at the end of the stream."""
+        return float(np.linalg.norm(self.achieved - self.target, ord="fro"))
+
+
+def sbm_part_assign(
+    table,
+    group_sizes,
+    target,
+    order=None,
+    capacity_weighting=True,
+    tie_stream=None,
+    cold_start="proportional",
+    negative_gain="divide",
+):
+    """Core streaming assignment loop.
+
+    Parameters
+    ----------
+    table:
+        monopartite :class:`~repro.tables.EdgeTable`.
+    group_sizes:
+        ``(k,)`` capacities ``q_t`` (must sum to >= n).
+    target:
+        ``(k, k)`` edge-count target in mixing-matrix convention.
+    order:
+        arrival order of node ids; natural order when omitted.  The
+        paper's evaluation streams nodes randomly.
+    capacity_weighting:
+        apply the LDG-style ``(1 - s_t / q_t)`` balancing factor
+        (ablation A3 turns this off).
+    tie_stream:
+        optional :class:`~repro.prng.RandomStream` for tie-breaking;
+        ties otherwise go to the group with most remaining capacity.
+    cold_start:
+        placement rule for nodes with no placed neighbours:
+        "proportional" (default — remaining-capacity-proportional
+        random draw) or "greedy" (most remaining capacity, a literal
+        LDG-style reading); ablated in
+        ``benchmarks/bench_ablation_implementation.py``.
+    negative_gain:
+        balancing of negative Frobenius gains: "divide" (default —
+        keeps the balancing direction uniform) or "multiply" (literal
+        application of the LDG factor); same ablation bench.
+
+    Returns
+    -------
+    (n,) int64 group label per node.
+    """
+    group_sizes = np.asarray(group_sizes, dtype=np.int64)
+    if group_sizes.ndim != 1 or group_sizes.size == 0:
+        raise ValueError("group_sizes must be a non-empty 1-D array")
+    if (group_sizes < 0).any():
+        raise ValueError("group sizes must be nonnegative")
+    n = table.num_nodes
+    if int(group_sizes.sum()) < n:
+        raise ValueError(
+            f"group sizes sum to {int(group_sizes.sum())} < n = {n}"
+        )
+    k = group_sizes.size
+    target = np.asarray(target, dtype=np.float64)
+    if target.shape != (k, k):
+        raise ValueError(
+            f"target must be ({k}, {k}), got {target.shape}"
+        )
+
+    if order is None:
+        order = np.arange(n, dtype=np.int64)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+        if order.size != n:
+            raise ValueError("order must enumerate all n nodes")
+    if tie_stream is None:
+        from ...prng import RandomStream
+
+        tie_stream = RandomStream(0, "sbm-part.coldstart")
+
+    indptr, neighbors, _ = table.adjacency_csr()
+    assignment = np.full(n, -1, dtype=np.int64)
+    loads = np.zeros(k, dtype=np.int64)
+    current = np.zeros((k, k), dtype=np.float64)
+    caps = group_sizes.astype(np.float64)
+    counts = np.zeros(k, dtype=np.float64)
+
+    for step, v in enumerate(order):
+        nbrs = neighbors[indptr[v]:indptr[v + 1]]
+        placed = assignment[nbrs]
+        placed = placed[placed >= 0]
+        counts[:] = 0.0
+        if placed.size:
+            np.add.at(counts, placed, 1.0)
+
+        if not counts.any():
+            # Cold start: no placed neighbours means every group has
+            # identical (zero) Frobenius delta.  Default: spread such
+            # nodes proportionally to remaining capacity — a
+            # deterministic draw from the tie stream — instead of
+            # dumping them all into the largest group.
+            remaining = np.maximum(caps - loads, 0.0)
+            total = remaining.sum()
+            if total <= 0:
+                raise RuntimeError(
+                    "group capacities exhausted mid-stream"
+                )
+            if cold_start == "proportional":
+                u = float(tie_stream.uniform(np.int64(step)))
+                cdf = np.cumsum(remaining / total)
+                choice = int(np.searchsorted(cdf, u, side="right"))
+            elif cold_start == "greedy":
+                choice = int(np.argmax(remaining))
+            else:
+                raise ValueError(
+                    f"unknown cold_start {cold_start!r}"
+                )
+            assignment[v] = choice
+            loads[choice] += 1
+            continue
+
+        # Frobenius delta of placing v in each candidate group t.
+        # Off-diagonal entries (t, j), j != t change by c_j in both
+        # symmetric slots; the diagonal (t, t) changes by c_t once.
+        # delta_t = sum_{j != t} 2 [2 c_j (C[t,j] - T[t,j]) + c_j^2]
+        #           + 2 c_t (C[t,t] - T[t,t]) + c_t^2
+        diff = current - target
+        cross = diff * counts[np.newaxis, :]  # (t, j) -> (C-T)[t,j] c_j
+        sq = counts * counts
+        row_term = 2.0 * (2.0 * cross.sum(axis=1) + sq.sum())
+        diag_idx = np.arange(k)
+        diag_term = (
+            2.0 * diff[diag_idx, diag_idx] * counts + sq
+        )
+        delta = row_term - 2.0 * (2.0 * cross[diag_idx, diag_idx] + sq) \
+            + diag_term
+        # (The row_term counted the diagonal entry as if off-diagonal;
+        # subtract its off-diagonal contribution and add the true
+        # diagonal one.)
+
+        gain = -delta  # positive gain = Frobenius distance decreases
+        if capacity_weighting:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                weight = np.where(caps > 0, 1.0 - loads / caps, 0.0)
+            if negative_gain == "divide":
+                # Multiplying a *negative* gain by a small weight would
+                # make nearly-full groups attractive dumping grounds;
+                # dividing instead keeps the balancing direction
+                # uniform.
+                score = np.where(
+                    gain >= 0,
+                    gain * weight,
+                    gain / np.maximum(weight, 1e-9),
+                )
+            elif negative_gain == "multiply":
+                score = gain * weight
+            else:
+                raise ValueError(
+                    f"unknown negative_gain {negative_gain!r}"
+                )
+        else:
+            score = gain.copy()
+        score[loads >= group_sizes] = -np.inf
+        best = float(score.max())
+        if not np.isfinite(best):
+            raise RuntimeError("group capacities exhausted mid-stream")
+        candidates = np.flatnonzero(score >= best - 1e-12)
+        if candidates.size == 1:
+            choice = int(candidates[0])
+        else:
+            remaining = caps[candidates] - loads[candidates]
+            top = candidates[remaining == remaining.max()]
+            if top.size > 1:
+                pick = int(
+                    tie_stream.randint(np.int64(step), 0, top.size)
+                )
+                choice = int(top[pick])
+            else:
+                choice = int(top[0])
+
+        assignment[v] = choice
+        loads[choice] += 1
+        current[choice, :] += counts
+        current[:, choice] += counts
+        # The diagonal got c_t twice; the convention stores intra
+        # edges once.
+        current[choice, choice] -= counts[choice]
+    return assignment
+
+
+def _mapping_from_assignment(assignment, codes):
+    """Build ``f`` (structure node -> PT row) from group labels.
+
+    PT rows are bucketed by their value code; nodes of group ``g``
+    consume the rows of code ``g`` in ascending id order.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    k = int(codes.max()) + 1 if codes.size else 0
+    rows_by_code = [np.flatnonzero(codes == g) for g in range(k)]
+    cursors = np.zeros(k, dtype=np.int64)
+    mapping = np.empty(assignment.size, dtype=np.int64)
+    for v, g in enumerate(assignment):
+        bucket = rows_by_code[g]
+        cursor = cursors[g]
+        if cursor >= bucket.size:
+            raise RuntimeError(
+                f"group {g} over-assigned: no PT rows left"
+            )
+        mapping[v] = bucket[cursor]
+        cursors[g] = cursor + 1
+    return mapping
+
+
+def sbm_part_match(
+    ptable,
+    joint,
+    table,
+    order=None,
+    capacity_weighting=True,
+    tie_stream=None,
+    cold_start="proportional",
+    negative_gain="divide",
+):
+    """Full matching: PT + joint + structure -> mapping ``f``.
+
+    This is the *match graph* task of Figure 2: group sizes come from
+    the PT's value counts, the target from the joint and the structure's
+    edge count, and the result maps every structure node to a concrete
+    PT row whose value realises the assigned group.
+
+    Returns
+    -------
+    :class:`SbmPartResult`
+    """
+    from ...partitioning import mixing_matrix
+
+    codes, _categories = ptable.codes()
+    group_sizes = np.bincount(codes)
+    if joint.k != group_sizes.size:
+        raise ValueError(
+            f"joint has {joint.k} categories but PT {ptable.name!r} has "
+            f"{group_sizes.size} distinct values"
+        )
+    if len(ptable) < table.num_nodes:
+        raise ValueError(
+            f"PT {ptable.name!r} has {len(ptable)} rows but the structure "
+            f"has {table.num_nodes} nodes"
+        )
+    target = edge_count_target(joint, table.num_edges)
+    assignment = sbm_part_assign(
+        table,
+        group_sizes,
+        target,
+        order=order,
+        capacity_weighting=capacity_weighting,
+        tie_stream=tie_stream,
+        cold_start=cold_start,
+        negative_gain=negative_gain,
+    )
+    mapping = _mapping_from_assignment(assignment, codes)
+    achieved = mixing_matrix(table, assignment, k=group_sizes.size)
+    return SbmPartResult(
+        assignment=assignment,
+        mapping=mapping,
+        target=target,
+        achieved=achieved,
+    )

@@ -1,0 +1,59 @@
+"""Country dictionary with population-proportional weights.
+
+The running example requires "Person's country follows a P_country(X)
+distribution similar to that found in real life".  We embed a compact
+list of countries with approximate population weights (millions,
+order-of-magnitude accurate is all that matters for benchmarking skew).
+"""
+
+from __future__ import annotations
+
+__all__ = ["COUNTRIES", "COUNTRY_WEIGHTS", "country_names", "country_weights"]
+
+#: (name, approximate population in millions)
+COUNTRIES = [
+    ("China", 1412),
+    ("India", 1408),
+    ("United States", 332),
+    ("Indonesia", 274),
+    ("Pakistan", 231),
+    ("Brazil", 214),
+    ("Nigeria", 213),
+    ("Bangladesh", 169),
+    ("Russia", 143),
+    ("Mexico", 127),
+    ("Japan", 126),
+    ("Philippines", 114),
+    ("Egypt", 109),
+    ("Vietnam", 98),
+    ("Germany", 83),
+    ("Turkey", 85),
+    ("France", 68),
+    ("United Kingdom", 67),
+    ("Italy", 59),
+    ("South Africa", 60),
+    ("South Korea", 52),
+    ("Spain", 47),
+    ("Argentina", 46),
+    ("Poland", 38),
+    ("Canada", 38),
+    ("Australia", 26),
+    ("Netherlands", 18),
+    ("Chile", 19),
+    ("Sweden", 10),
+    ("Portugal", 10),
+    ("Greece", 11),
+    ("Switzerland", 9),
+]
+
+COUNTRY_WEIGHTS = {name: weight for name, weight in COUNTRIES}
+
+
+def country_names():
+    """Country names in embedded order (descending population)."""
+    return [name for name, _weight in COUNTRIES]
+
+
+def country_weights():
+    """Population weights aligned with :func:`country_names`."""
+    return [float(weight) for _name, weight in COUNTRIES]

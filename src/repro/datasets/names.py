@@ -1,0 +1,108 @@
+"""Given-name dictionaries conditioned on (country region, sex).
+
+The running example's ``P_name(X | country, sex)``: names correlate with
+both the sex and the country of a Person.  We embed name lists per
+(region, sex) and a country -> region mapping; the conditional table
+builder produces the exact structure
+:class:`~repro.properties.ConditionalGenerator` consumes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "REGION_OF_COUNTRY",
+    "NAMES_BY_REGION_SEX",
+    "conditional_name_table",
+]
+
+REGION_OF_COUNTRY = {
+    "China": "east_asia",
+    "Japan": "east_asia",
+    "South Korea": "east_asia",
+    "Vietnam": "east_asia",
+    "Indonesia": "south_asia",
+    "India": "south_asia",
+    "Pakistan": "south_asia",
+    "Bangladesh": "south_asia",
+    "Philippines": "south_asia",
+    "United States": "anglo",
+    "United Kingdom": "anglo",
+    "Canada": "anglo",
+    "Australia": "anglo",
+    "South Africa": "anglo",
+    "Nigeria": "africa",
+    "Egypt": "mena",
+    "Turkey": "mena",
+    "Russia": "slavic",
+    "Poland": "slavic",
+    "Germany": "germanic",
+    "Netherlands": "germanic",
+    "Sweden": "germanic",
+    "Switzerland": "germanic",
+    "France": "romance",
+    "Italy": "romance",
+    "Spain": "romance",
+    "Portugal": "romance",
+    "Greece": "romance",
+    "Brazil": "latam",
+    "Mexico": "latam",
+    "Argentina": "latam",
+    "Chile": "latam",
+}
+
+NAMES_BY_REGION_SEX = {
+    ("east_asia", "female"): ["Mei", "Yuki", "Jin", "Sakura", "Li", "Hana"],
+    ("east_asia", "male"): ["Wei", "Hiroshi", "Min-jun", "Chen", "Kenji",
+                            "Takeshi"],
+    ("south_asia", "female"): ["Priya", "Ananya", "Fatima", "Dewi", "Aisha",
+                               "Lakshmi"],
+    ("south_asia", "male"): ["Arjun", "Rahul", "Muhammad", "Budi", "Ravi",
+                             "Imran"],
+    ("anglo", "female"): ["Emma", "Olivia", "Charlotte", "Amelia", "Grace",
+                          "Chloe"],
+    ("anglo", "male"): ["James", "Oliver", "William", "Jack", "Henry",
+                        "Thomas"],
+    ("africa", "female"): ["Amara", "Chioma", "Zainab", "Ngozi", "Adaeze",
+                           "Folake"],
+    ("africa", "male"): ["Chinedu", "Emeka", "Oluwaseun", "Ibrahim", "Kofi",
+                         "Tunde"],
+    ("mena", "female"): ["Layla", "Yasmin", "Elif", "Zeynep", "Nour",
+                         "Amira"],
+    ("mena", "male"): ["Omar", "Ahmet", "Mehmet", "Youssef", "Mustafa",
+                       "Karim"],
+    ("slavic", "female"): ["Anastasia", "Olga", "Katarzyna", "Irina",
+                           "Natalia", "Svetlana"],
+    ("slavic", "male"): ["Dmitri", "Ivan", "Piotr", "Andrzej", "Sergei",
+                         "Mikhail"],
+    ("germanic", "female"): ["Anna", "Lena", "Emma", "Freja", "Greta",
+                             "Ingrid"],
+    ("germanic", "male"): ["Lukas", "Finn", "Maximilian", "Lars", "Jonas",
+                           "Stefan"],
+    ("romance", "female"): ["Sofia", "Giulia", "Camille", "Lucia", "Ines",
+                            "Elena"],
+    ("romance", "male"): ["Luca", "Hugo", "Marco", "Pablo", "Joao",
+                          "Alessandro"],
+    ("latam", "female"): ["Valentina", "Camila", "Isabella", "Mariana",
+                          "Gabriela", "Fernanda"],
+    ("latam", "male"): ["Santiago", "Mateo", "Diego", "Thiago", "Felipe",
+                        "Andres"],
+}
+
+#: Rank weights within each name list (first names more common).
+_RANK_WEIGHTS = [8.0, 5.0, 3.0, 2.0, 1.5, 1.0]
+
+
+def conditional_name_table():
+    """Build the ``(country, sex) -> (names, weights)`` table.
+
+    The result plugs straight into
+    :class:`~repro.properties.ConditionalGenerator` as its ``table``
+    parameter; a default entry covers countries missing from the region
+    map.
+    """
+    table = {}
+    for country, region in REGION_OF_COUNTRY.items():
+        for sex in ("female", "male"):
+            names = NAMES_BY_REGION_SEX[(region, sex)]
+            table[(country, sex)] = (names, _RANK_WEIGHTS[:len(names)])
+    return table

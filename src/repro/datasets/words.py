@@ -1,0 +1,37 @@
+"""Topic and vocabulary word lists for message-style content."""
+
+from __future__ import annotations
+
+__all__ = ["TOPICS", "INTERESTS", "VOCABULARY"]
+
+#: Message topics, ordered by expected popularity (Zipf-weighted use).
+TOPICS = [
+    "sports", "music", "politics", "movies", "technology", "travel",
+    "food", "gaming", "fashion", "science", "photography", "books",
+    "fitness", "art", "history", "nature", "finance", "education",
+    "health", "cars",
+]
+
+#: Personal interests (same shape, used for the Person.interest property).
+INTERESTS = [
+    "football", "cooking", "reading", "hiking", "chess", "painting",
+    "running", "gardening", "cycling", "yoga", "dancing", "singing",
+    "swimming", "climbing", "writing", "skiing", "surfing", "knitting",
+    "astronomy", "birdwatching",
+]
+
+#: Small vocabulary for synthetic message text.
+VOCABULARY = [
+    "the", "a", "to", "and", "of", "in", "is", "it", "you", "that",
+    "was", "for", "on", "are", "with", "as", "his", "they", "be", "at",
+    "one", "have", "this", "from", "or", "had", "by", "not", "word",
+    "but", "what", "some", "we", "can", "out", "other", "were", "all",
+    "there", "when", "up", "use", "your", "how", "said", "an", "each",
+    "she", "which", "do", "their", "time", "if", "will", "way", "about",
+    "many", "then", "them", "write", "would", "like", "so", "these",
+    "her", "long", "make", "thing", "see", "him", "two", "has", "look",
+    "more", "day", "could", "go", "come", "did", "number", "sound",
+    "no", "most", "people", "my", "over", "know", "water", "than",
+    "call", "first", "who", "may", "down", "side", "been", "now",
+    "find", "any", "new", "work", "part", "take", "get", "place",
+]

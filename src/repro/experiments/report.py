@@ -1,0 +1,110 @@
+"""Markdown report generation for the reproduction experiments.
+
+``generate_report()`` runs the Figure-3/4 protocol sweep, the matcher
+ablation and a timing sample at the active scale profile, and renders
+a self-contained markdown document — the machinery behind
+EXPERIMENTS.md, exposed so users can regenerate the numbers on their
+own hardware with one call (or ``datasynth report`` from the CLI).
+"""
+
+from __future__ import annotations
+
+import io
+
+from .figure34 import MATCHERS, run_protocol
+from .scale import fixed_k, k_values, lfr_sizes, profile_name, rmat_scales
+from .timing import extrapolate_to_paper, time_sbm_part
+
+__all__ = ["generate_report", "render_markdown_table"]
+
+
+def render_markdown_table(rows):
+    """Render a list of dict rows as a GitHub-flavoured table."""
+    if not rows:
+        return "(no rows)\n"
+    keys = list(rows[0])
+    out = io.StringIO()
+    out.write("| " + " | ".join(str(k) for k in keys) + " |\n")
+    out.write("|" + "|".join("---" for _ in keys) + "|\n")
+    for row in rows:
+        out.write(
+            "| " + " | ".join(str(row[k]) for k in keys) + " |\n"
+        )
+    return out.getvalue()
+
+
+def generate_report(seed=0, include_figure4=True, include_ablation=True):
+    """Run the experiment sweep and return the markdown text."""
+    out = io.StringIO()
+    out.write("# Reproduction report\n\n")
+    out.write(f"Scale profile: `{profile_name()}` "
+              f"(LFR {lfr_sizes()}, R-MAT scales {rmat_scales()})\n\n")
+
+    # Figure 3.
+    out.write("## Figure 3 — quality across sizes (k = "
+              f"{fixed_k()})\n\n")
+    rows = []
+    for size in lfr_sizes():
+        rows.append(run_protocol("lfr", size, fixed_k(), seed=seed).row())
+    for scale in rmat_scales():
+        rows.append(
+            run_protocol("rmat", scale, fixed_k(), seed=seed).row()
+        )
+    out.write(render_markdown_table(rows) + "\n")
+
+    # Figure 4.
+    if include_figure4:
+        out.write("## Figure 4 — quality across k\n\n")
+        rows = []
+        for k in k_values():
+            rows.append(
+                run_protocol("lfr", lfr_sizes()[-1], k, seed=seed).row()
+            )
+        for k in k_values():
+            rows.append(
+                run_protocol(
+                    "rmat", rmat_scales()[-1], k, seed=seed
+                ).row()
+            )
+        out.write(render_markdown_table(rows) + "\n")
+
+    # Matcher ablation.
+    if include_ablation:
+        out.write("## Matcher ablation (A1)\n\n")
+        rows = []
+        for matcher in MATCHERS:
+            result = run_protocol(
+                "lfr", lfr_sizes()[0], fixed_k(), seed=seed,
+                matcher=matcher,
+            )
+            rows.append({"matcher": matcher, **result.row()})
+        out.write(render_markdown_table(rows) + "\n")
+
+    # Timing.
+    out.write("## Timing (P1)\n\n")
+    measurement = time_sbm_part("rmat", rmat_scales()[0], fixed_k(),
+                                seed=seed)
+    extrapolated = extrapolate_to_paper(measurement)
+    rows = [
+        measurement.row(),
+        {
+            "graph": "rmat-22 (paper cfg, extrapolated)",
+            "k": 64,
+            "n": 1 << 22,
+            "m": 67_000_000,
+            "seconds": round(
+                extrapolated["predicted_paper_seconds"], 1
+            ),
+            "edges_per_s": "-",
+        },
+        {
+            "graph": "rmat-22 (paper reported)",
+            "k": 64,
+            "n": 1 << 22,
+            "m": 67_000_000,
+            "seconds": extrapolated["paper_reported_seconds"],
+            "edges_per_s": "-",
+        },
+    ]
+    out.write(render_markdown_table(rows) + "\n")
+    return out.getvalue()

@@ -1,0 +1,110 @@
+"""Performance experiment (P1): SBM-Part wall-clock scaling.
+
+The paper reports a single number: "it takes about 1100s to process the
+largest problem, RMAT-22 (with 67M of edges) and 64 values, using a
+single thread on an Intel Xeon E-2630 v3 at 2.4GHz.  No optimizations
+of any kind have been implemented."
+
+We time SBM-Part across R-MAT scales, report per-edge throughput, and
+extrapolate to the paper's configuration — absolute wall-clock is
+testbed-specific, but the per-edge cost model (linear in m, linear in
+k via the O(k) candidate scoring) is checkable at any scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.matching import sbm_part_match
+from ..partitioning import arrival_order, ldg_partition
+from ..prng import RandomStream, derive_seed
+from ..stats import TruncatedGeometric, empirical_joint
+from ..tables import PropertyTable
+from .figure34 import make_graph
+
+__all__ = ["TimingResult", "time_sbm_part", "extrapolate_to_paper"]
+
+#: Paper configuration for the in-text claim.
+PAPER_EDGES = 67_000_000
+PAPER_K = 64
+PAPER_SECONDS = 1100.0
+
+
+@dataclass
+class TimingResult:
+    """One timing measurement."""
+
+    kind: str
+    size: int
+    k: int
+    num_nodes: int
+    num_edges: int
+    seconds: float
+
+    @property
+    def edges_per_second(self):
+        return self.num_edges / self.seconds if self.seconds > 0 else 0.0
+
+    def row(self):
+        return {
+            "graph": f"{self.kind}-{self.size}",
+            "k": self.k,
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "seconds": round(self.seconds, 2),
+            "edges_per_s": int(self.edges_per_second),
+        }
+
+
+def time_sbm_part(kind, size, k, seed=0):
+    """Time the matching step of the Figure-3/4 protocol."""
+    graph = make_graph(kind, size, derive_seed(seed, "graph"))
+    sizes = TruncatedGeometric(0.4, k).sizes(graph.num_nodes)
+    labels = ldg_partition(graph, sizes)
+    expected = empirical_joint(graph.tails, graph.heads, labels, k=k)
+    ptable = PropertyTable(
+        "timing.value",
+        np.repeat(np.arange(k, dtype=np.int64),
+                  np.bincount(labels, minlength=k)),
+    )
+    order = arrival_order(
+        graph, "random",
+        stream=RandomStream(derive_seed(seed, "arrival")),
+    )
+    start = time.perf_counter()
+    sbm_part_match(ptable, expected, graph, order=order)
+    elapsed = time.perf_counter() - start
+    return TimingResult(
+        kind=kind,
+        size=size,
+        k=k,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        seconds=elapsed,
+    )
+
+
+def extrapolate_to_paper(result):
+    """Extrapolate a measurement to the paper's RMAT-22 / k=64 config.
+
+    The cost model is ``seconds ≈ alpha * (m + n * k)``: each edge is
+    touched O(1) times and each node evaluates k candidates.  We fit
+    alpha from the measurement and predict the paper configuration
+    (n = 2^22 nodes).
+
+    Returns
+    -------
+    dict with the predicted seconds and the paper's reported 1100 s for
+    side-by-side display.
+    """
+    ops = result.num_edges + result.num_nodes * result.k
+    alpha = result.seconds / ops if ops else float("nan")
+    paper_ops = PAPER_EDGES + (1 << 22) * PAPER_K
+    return {
+        "fitted_alpha_us": alpha * 1e6,
+        "predicted_paper_seconds": alpha * paper_ops,
+        "paper_reported_seconds": PAPER_SECONDS,
+    }

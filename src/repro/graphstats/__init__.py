@@ -1,0 +1,36 @@
+"""Structural graph metrics (the characterisation vocabulary of §2)."""
+
+from .assortativity import attribute_assortativity, degree_assortativity
+from .clustering import (
+    average_clustering,
+    clustering_distribution_per_degree,
+    clustering_per_degree,
+    local_clustering,
+    triangle_count,
+)
+from .components import (
+    approximate_diameter,
+    bfs_distances,
+    connected_components,
+    largest_component_fraction,
+)
+from .degrees import degree_ccdf, degree_histogram, powerlaw_fit_quality
+from .summary import structural_summary
+
+__all__ = [
+    "approximate_diameter",
+    "attribute_assortativity",
+    "average_clustering",
+    "bfs_distances",
+    "clustering_distribution_per_degree",
+    "clustering_per_degree",
+    "connected_components",
+    "degree_assortativity",
+    "degree_ccdf",
+    "degree_histogram",
+    "largest_component_fraction",
+    "local_clustering",
+    "powerlaw_fit_quality",
+    "structural_summary",
+    "triangle_count",
+]

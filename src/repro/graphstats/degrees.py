@@ -1,0 +1,59 @@
+"""Degree-based structural metrics (requirements Section 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "degree_histogram",
+    "degree_ccdf",
+    "powerlaw_fit_quality",
+]
+
+
+def degree_histogram(table):
+    """Counts of nodes per degree value ``0..max_degree``."""
+    return np.bincount(table.degrees()).astype(np.int64)
+
+
+def degree_ccdf(table):
+    """Complementary CDF of the degree distribution.
+
+    Returns
+    -------
+    (degrees, ccdf):
+        ``ccdf[i]`` is the fraction of nodes with degree >= ``degrees[i]``.
+    """
+    hist = degree_histogram(table)
+    total = hist.sum()
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    tail = np.cumsum(hist[::-1])[::-1] / total
+    degrees = np.arange(hist.size, dtype=np.int64)
+    keep = hist > 0
+    return degrees[keep], tail[keep]
+
+
+def powerlaw_fit_quality(table, xmin=2):
+    """Fit a power law to the degree tail and report (gamma, r_squared).
+
+    ``r_squared`` is computed on the log-log CCDF regression — a rough
+    but standard check that a generator's output "follows a power law"
+    (the paper's ``pl`` capability flag).
+    """
+    from ..stats import fit_power_law_exponent
+
+    degrees = table.degrees()
+    gamma = fit_power_law_exponent(degrees, xmin=xmin)
+    dvals, ccdf = degree_ccdf(table)
+    mask = dvals >= xmin
+    if mask.sum() < 3:
+        return gamma, float("nan")
+    x = np.log(dvals[mask].astype(np.float64))
+    y = np.log(ccdf[mask])
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else float("nan")
+    return gamma, r2

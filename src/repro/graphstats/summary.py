@@ -1,0 +1,50 @@
+"""One-call structural summary of a graph.
+
+Collects the metrics named in the requirements section (Section 2:
+"number of connected components, clustering coefficient, degree
+distribution, ... diameter, assortativity") into a dict for reports and
+tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .assortativity import degree_assortativity
+from .clustering import average_clustering
+from .components import (
+    approximate_diameter,
+    connected_components,
+    largest_component_fraction,
+)
+from .degrees import powerlaw_fit_quality
+
+__all__ = ["structural_summary"]
+
+
+def structural_summary(table, clustering=True, diameter=True):
+    """Compute the standard structural profile of an :class:`EdgeTable`.
+
+    ``clustering`` and ``diameter`` can be disabled for very large
+    graphs (both are the superlinear parts).
+    """
+    degrees = table.degrees()
+    _, num_components = connected_components(table)
+    summary = {
+        "num_nodes": table.num_nodes,
+        "num_edges": table.num_edges,
+        "mean_degree": float(degrees.mean()) if degrees.size else 0.0,
+        "max_degree": int(degrees.max()) if degrees.size else 0,
+        "num_components": num_components,
+        "largest_component_fraction": largest_component_fraction(table),
+        "degree_assortativity": degree_assortativity(table),
+    }
+    if table.num_edges:
+        gamma, r2 = powerlaw_fit_quality(table)
+        summary["powerlaw_gamma"] = gamma
+        summary["powerlaw_r2"] = r2
+    if clustering:
+        summary["average_clustering"] = average_clustering(table)
+    if diameter:
+        summary["approximate_diameter"] = approximate_diameter(table)
+    return summary

@@ -1,0 +1,34 @@
+"""I/O connectors (the integrability requirement of Section 2)."""
+
+from .csv_io import (
+    export_graph_csv,
+    read_edge_table,
+    read_property_table,
+    write_edge_table,
+    write_property_table,
+)
+from .edgelist import read_edgelist, write_edgelist
+from .graphml import write_graphml
+from .jsonl import export_graph_jsonl, write_edges_jsonl, write_nodes_jsonl
+from .networkx_adapter import (
+    from_networkx,
+    property_graph_to_networkx,
+    to_networkx,
+)
+
+__all__ = [
+    "export_graph_csv",
+    "export_graph_jsonl",
+    "from_networkx",
+    "property_graph_to_networkx",
+    "read_edge_table",
+    "read_edgelist",
+    "read_property_table",
+    "to_networkx",
+    "write_edge_table",
+    "write_edgelist",
+    "write_edges_jsonl",
+    "write_graphml",
+    "write_nodes_jsonl",
+    "write_property_table",
+]

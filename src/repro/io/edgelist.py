@@ -1,0 +1,50 @@
+"""Plain edge-list text format (``tail head`` per line).
+
+The interchange format of graph-processing systems (Graph500, SNAP,
+GraphMat all consume whitespace edge lists).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..tables import EdgeTable
+
+__all__ = ["write_edgelist", "read_edgelist"]
+
+
+def write_edgelist(table, path, comment=None):
+    """Write ``tail head`` lines; optional leading ``#`` comment."""
+    path = Path(path)
+    with path.open("w") as handle:
+        if comment:
+            handle.write(f"# {comment}\n")
+        for tail, head in zip(table.tails, table.heads):
+            handle.write(f"{int(tail)} {int(head)}\n")
+    return path
+
+
+def read_edgelist(path, name=None, directed=False):
+    """Read an edge list (``#`` lines ignored)."""
+    path = Path(path)
+    tails, heads = [], []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'tail head'"
+                )
+            tails.append(int(parts[0]))
+            heads.append(int(parts[1]))
+    return EdgeTable(
+        name or path.stem,
+        np.array(tails, dtype=np.int64),
+        np.array(heads, dtype=np.int64),
+        directed=directed,
+    )

@@ -1,0 +1,91 @@
+"""Minimal GraphML export (graph-database import format).
+
+Neo4j, Sparksee and most property-graph tools ingest GraphML; this
+writer emits a single monopartite edge type with node and edge
+properties as GraphML keys.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+__all__ = ["write_graphml"]
+
+_HEADER = (
+    '<?xml version="1.0" encoding="UTF-8"?>\n'
+    '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">\n'
+)
+
+
+def _type_tag(values):
+    if values.dtype.kind in ("i", "u"):
+        return "long"
+    if values.dtype.kind == "f":
+        return "double"
+    if values.dtype.kind == "b":
+        return "boolean"
+    return "string"
+
+
+def write_graphml(result, edge_name, path):
+    """Write one edge type (and its endpoint node type) as GraphML."""
+    edge = result.schema.edge_type(edge_name)
+    if not result.edges(edge_name).is_bipartite \
+            and edge.tail_type != edge.head_type:
+        raise ValueError("write_graphml expects a monopartite edge type")
+    table = result.edges(edge_name)
+    node_type = result.schema.node_type(edge.tail_type)
+    path = Path(path)
+
+    node_props = {
+        prop.name: result.node_property(edge.tail_type, prop.name).values
+        for prop in node_type.properties
+    }
+    edge_props = {
+        prop.name: result.edge_property(edge_name, prop.name).values
+        for prop in edge.properties
+    }
+
+    with path.open("w") as handle:
+        handle.write(_HEADER)
+        for name, values in node_props.items():
+            handle.write(
+                f'  <key id="n_{name}" for="node" attr.name="{name}" '
+                f'attr.type="{_type_tag(values)}"/>\n'
+            )
+        for name, values in edge_props.items():
+            handle.write(
+                f'  <key id="e_{name}" for="edge" attr.name="{name}" '
+                f'attr.type="{_type_tag(values)}"/>\n'
+            )
+        direction = "directed" if table.directed else "undirected"
+        handle.write(
+            f'  <graph id="{edge_name}" edgedefault="{direction}">\n'
+        )
+        count = result.num_nodes(edge.tail_type)
+        for i in range(count):
+            handle.write(f'    <node id="n{i}">\n')
+            for name, values in node_props.items():
+                handle.write(
+                    f'      <data key="n_{name}">'
+                    f'{escape(str(values[i]))}</data>\n'
+                )
+            handle.write("    </node>\n")
+        for edge_id, (tail, head) in enumerate(
+            zip(table.tails, table.heads)
+        ):
+            handle.write(
+                f'    <edge id="e{edge_id}" source="n{int(tail)}" '
+                f'target="n{int(head)}">\n'
+            )
+            for name, values in edge_props.items():
+                handle.write(
+                    f'      <data key="e_{name}">'
+                    f'{escape(str(values[edge_id]))}</data>\n'
+                )
+            handle.write("    </edge>\n")
+        handle.write("  </graph>\n</graphml>\n")
+    return path

@@ -1,0 +1,68 @@
+"""JSON-lines export: one record per node/edge instance.
+
+The record-oriented view (ids joined with all their properties) that
+document stores and streaming loaders expect.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_nodes_jsonl", "write_edges_jsonl", "export_graph_jsonl"]
+
+
+def _jsonable(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def write_nodes_jsonl(graph, type_name, path):
+    """Write all instances of a node type as JSON lines."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in graph.node_records(type_name):
+            handle.write(
+                json.dumps({k: _jsonable(v) for k, v in record.items()})
+            )
+            handle.write("\n")
+    return path
+
+
+def write_edges_jsonl(graph, edge_name, path):
+    """Write all instances of an edge type as JSON lines."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for record in graph.edge_records(edge_name):
+            handle.write(
+                json.dumps({k: _jsonable(v) for k, v in record.items()})
+            )
+            handle.write("\n")
+    return path
+
+
+def export_graph_jsonl(graph, directory):
+    """Export every type to ``<directory>/<TypeName>.jsonl``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for type_name in graph.schema.node_types:
+        written.append(
+            write_nodes_jsonl(
+                graph, type_name, directory / f"{type_name}.jsonl"
+            )
+        )
+    for edge_name in graph.schema.edge_types:
+        written.append(
+            write_edges_jsonl(
+                graph, edge_name, directory / f"{edge_name}.jsonl"
+            )
+        )
+    return written

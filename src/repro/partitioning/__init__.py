@@ -1,0 +1,17 @@
+"""Streaming graph partitioning substrate (LDG and friends)."""
+
+from .hashing import capacity_respecting_random_partition, hash_partition
+from .ldg import ldg_partition
+from .metrics import balance, cut_fraction, edge_cut, mixing_matrix
+from .streams import arrival_order
+
+__all__ = [
+    "arrival_order",
+    "balance",
+    "capacity_respecting_random_partition",
+    "cut_fraction",
+    "edge_cut",
+    "hash_partition",
+    "ldg_partition",
+    "mixing_matrix",
+]

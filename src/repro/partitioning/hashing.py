@@ -1,0 +1,35 @@
+"""Hash partitioning: the zero-information baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..prng import RandomStream
+
+__all__ = ["hash_partition", "capacity_respecting_random_partition"]
+
+
+def hash_partition(n, k, seed=0):
+    """Assign each node to ``mix(node) % k`` — unbalanced, structure-blind."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    stream = RandomStream(seed, "hash_partition")
+    return (stream.raw(np.arange(n, dtype=np.int64))
+            % np.uint64(k)).astype(np.int64)
+
+
+def capacity_respecting_random_partition(capacities, seed=0):
+    """Random assignment that exactly fills the given capacities.
+
+    Produces a deterministic pseudo-random permutation of the label
+    multiset ``[0]*q0 + [1]*q1 + ...`` — the "matching is done randomly"
+    path of the paper for uncorrelated edge types.
+    """
+    capacities = np.asarray(capacities, dtype=np.int64)
+    if (capacities < 0).any():
+        raise ValueError("capacities must be nonnegative")
+    labels = np.repeat(
+        np.arange(capacities.size, dtype=np.int64), capacities
+    )
+    stream = RandomStream(seed, "random_partition")
+    return labels[stream.permutation(labels.size)]

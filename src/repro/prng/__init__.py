@@ -1,0 +1,19 @@
+"""Skip-seed pseudo-random number generation (Myriad-style, Section 4.1).
+
+The public surface is :class:`RandomStream` — a deterministic, seekable
+stream whose ``i``-th value is computable in O(1) — plus the seed-derivation
+helpers used by the engine to give every property table an independent
+stream.
+"""
+
+from .splitmix import GOLDEN_GAMMA, hash_string, mix64, splitmix64
+from .streams import RandomStream, derive_seed
+
+__all__ = [
+    "GOLDEN_GAMMA",
+    "RandomStream",
+    "derive_seed",
+    "hash_string",
+    "mix64",
+    "splitmix64",
+]

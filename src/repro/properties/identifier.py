@@ -1,0 +1,57 @@
+"""Identifier generators: uuids correlated with the id (Section 4.1).
+
+"Passing the id to run allows the generation of user-controlled uuids
+that can be correlated with other properties such as the time."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PropertyGenerator
+
+__all__ = ["UuidGenerator", "CompositeKeyGenerator"]
+
+
+class UuidGenerator(PropertyGenerator):
+    """Deterministic 128-bit hex identifiers derived from (stream, id).
+
+    The leading 16 hex digits are the mixed id (so ids sort the same as
+    uuids when ``time_ordered=True``), the trailing 16 come from the
+    stream — a user-controlled uuid in the paper's sense.
+    """
+
+    name = "uuid"
+
+    def parameter_names(self):
+        return {"time_ordered"}
+
+    def run_many(self, ids, stream, *dependency_arrays):
+        ids = np.asarray(ids, dtype=np.int64)
+        random_half = stream.raw(ids)
+        time_ordered = bool(self._params.get("time_ordered", False))
+        out = np.empty(ids.size, dtype=object)
+        for i in range(ids.size):
+            if time_ordered:
+                high = int(ids[i])
+            else:
+                high = int(stream.substream("high").raw(np.int64(ids[i])))
+            out[i] = f"{high & (2**64 - 1):016x}{int(random_half[i]):016x}"
+        return out
+
+
+class CompositeKeyGenerator(PropertyGenerator):
+    """Keys of the form ``prefix-<id>`` (human-readable surrogate keys)."""
+
+    name = "composite_key"
+
+    def parameter_names(self):
+        return {"prefix"}
+
+    def run_many(self, ids, stream, *dependency_arrays):
+        prefix = str(self._params.get("prefix", "id"))
+        ids = np.asarray(ids, dtype=np.int64)
+        out = np.empty(ids.size, dtype=object)
+        for i in range(ids.size):
+            out[i] = f"{prefix}-{int(ids[i])}"
+        return out

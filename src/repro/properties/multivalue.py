@@ -1,0 +1,89 @@
+"""Multi-valued properties (paper §5: "performing experiments for
+multi-valued properties would also be interesting").
+
+A multi-valued property holds a *set* of values per instance — e.g. a
+Person's interests.  :class:`MultiValueGenerator` draws a per-instance
+set size from a distribution and fills the set with weighted draws
+without replacement, all under the in-place contract (the whole set is
+a pure function of the instance id).
+
+The companion analysis function
+:func:`repro.stats.multivalue.empirical_multivalue_joint` measures the
+value-pair joint over edges for multi-valued labels, extending the
+Figure-3 protocol's measurement step to sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PropertyGenerator
+
+__all__ = ["MultiValueGenerator"]
+
+
+class MultiValueGenerator(PropertyGenerator):
+    """Generate a tuple of distinct values per instance.
+
+    Parameters (via ``initialize``)
+    -------------------------------
+    values:
+        the value universe, ordered by decreasing popularity.
+    min_size, max_size:
+        set size bounds (uniform between them; default 1..3).
+    exponent:
+        Zipf popularity exponent over ``values`` (default 1.0).
+
+    Values within one instance are distinct; the output dtype is
+    object (each cell a tuple, sorted by universe rank for
+    determinism-friendly comparison).
+    """
+
+    name = "multi_value"
+
+    def parameter_names(self):
+        return {"values", "min_size", "max_size", "exponent"}
+
+    def _validate_params(self):
+        values = self._params.get("values")
+        if values is not None and len(values) == 0:
+            raise ValueError("values must be non-empty")
+        lo = self._params.get("min_size", 1)
+        hi = self._params.get("max_size", 3)
+        if lo < 1 or hi < lo:
+            raise ValueError("need 1 <= min_size <= max_size")
+        if values is not None and hi > len(values):
+            raise ValueError("max_size exceeds the value universe")
+        exponent = self._params.get("exponent", 1.0)
+        if exponent < 0:
+            raise ValueError("exponent must be nonnegative")
+
+    def run_many(self, ids, stream, *dependency_arrays):
+        values = self._params.get("values")
+        if values is None:
+            raise ValueError("MultiValueGenerator needs 'values'")
+        lo = int(self._params.get("min_size", 1))
+        hi = int(self._params.get("max_size", 3))
+        exponent = float(self._params.get("exponent", 1.0))
+        universe = len(values)
+        ranks = np.arange(1, universe + 1, dtype=np.float64)
+        weights = ranks ** (-exponent) if exponent > 0 \
+            else np.ones(universe)
+
+        ids = np.asarray(ids, dtype=np.int64)
+        sizes = stream.substream("size").randint(ids, lo, hi + 1)
+        pick_stream = stream.substream("picks")
+        out = np.empty(ids.size, dtype=object)
+        for i, instance in enumerate(ids):
+            per_instance = pick_stream.indexed_substream(int(instance))
+            chosen = []
+            remaining = weights.copy()
+            for draw in range(int(sizes[i])):
+                code = int(
+                    per_instance.choice(np.int64(draw), remaining)
+                )
+                chosen.append(code)
+                remaining[code] = 0.0
+            chosen.sort()
+            out[i] = tuple(values[c] for c in chosen)
+        return out

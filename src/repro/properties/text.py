@@ -1,0 +1,107 @@
+"""Text synthesis generators (message bodies, labels)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PropertyGenerator
+
+__all__ = ["TextGenerator", "TemplateGenerator"]
+
+
+class TextGenerator(PropertyGenerator):
+    """Random word sequences from a vocabulary.
+
+    Parameters (via ``initialize``)
+    -------------------------------
+    vocabulary:
+        list of words.
+    min_words, max_words:
+        sentence length bounds (defaults 3 and 12).
+    zipf_exponent:
+        word popularity skew (default 1.0; 0 disables skew).
+    """
+
+    name = "text"
+
+    def parameter_names(self):
+        return {"vocabulary", "min_words", "max_words", "zipf_exponent"}
+
+    def _validate_params(self):
+        vocab = self._params.get("vocabulary")
+        if vocab is not None and len(vocab) == 0:
+            raise ValueError("vocabulary must be non-empty")
+        lo = self._params.get("min_words", 3)
+        hi = self._params.get("max_words", 12)
+        if lo < 1 or hi < lo:
+            raise ValueError("need 1 <= min_words <= max_words")
+
+    def run_many(self, ids, stream, *dependency_arrays):
+        vocab = self._params.get("vocabulary")
+        if vocab is None:
+            raise ValueError("TextGenerator needs 'vocabulary'")
+        lo = int(self._params.get("min_words", 3))
+        hi = int(self._params.get("max_words", 12))
+        exponent = float(self._params.get("zipf_exponent", 1.0))
+        if exponent > 0:
+            ranks = np.arange(1, len(vocab) + 1, dtype=np.float64)
+            weights = ranks ** (-exponent)
+            cdf = np.cumsum(weights / weights.sum())
+        else:
+            cdf = np.linspace(
+                1.0 / len(vocab), 1.0, len(vocab)
+            )
+        ids = np.asarray(ids, dtype=np.int64)
+        lengths = stream.substream("len").randint(ids, lo, hi + 1)
+        out = np.empty(ids.size, dtype=object)
+        word_stream = stream.substream("words")
+        for i, instance in enumerate(ids):
+            per_instance = word_stream.indexed_substream(int(instance))
+            draws = per_instance.uniform(
+                np.arange(int(lengths[i]), dtype=np.int64)
+            )
+            codes = np.searchsorted(cdf, draws, side="right")
+            out[i] = " ".join(
+                vocab[min(int(c), len(vocab) - 1)] for c in codes
+            )
+        return out
+
+
+class TemplateGenerator(PropertyGenerator):
+    """Fill a format template with dependency values and the id.
+
+    Parameters (via ``initialize``)
+    -------------------------------
+    template:
+        a ``str.format`` template; ``{id}`` and ``{0}``, ``{1}``, ...
+        refer to the instance id and the dependency values.
+
+    Example: ``template="{0} from {1} (member #{id})"`` with
+    dependencies ``(name, country)``.
+    """
+
+    name = "template"
+
+    def parameter_names(self):
+        return {"template"}
+
+    def _validate_params(self):
+        if "template" in self._params and not isinstance(
+            self._params["template"], str
+        ):
+            raise ValueError("template must be a string")
+
+    def num_dependencies(self):
+        return None
+
+    def run_many(self, ids, stream, *dependency_arrays):
+        template = self._params.get("template")
+        if template is None:
+            raise ValueError("TemplateGenerator needs 'template'")
+        ids = np.asarray(ids, dtype=np.int64)
+        columns = [np.asarray(dep) for dep in dependency_arrays]
+        out = np.empty(ids.size, dtype=object)
+        for i in range(ids.size):
+            args = [col[i] for col in columns]
+            out[i] = template.format(*args, id=int(ids[i]))
+        return out

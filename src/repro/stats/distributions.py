@@ -1,0 +1,280 @@
+"""Discrete probability distributions used across the generator.
+
+The paper's requirements section asks for user-provided property value
+distributions ("Person's country follows a P_country(X) distribution
+similar to that found in real life") and for structural distributions
+(power-law degree distributions, truncated geometric group sizes in the
+evaluation).  This module provides a small, composable family of discrete
+distributions with a uniform interface:
+
+``pmf()``
+    probability vector over the support,
+``sample(stream, index)``
+    deterministic inverse-transform sampling driven by a
+    :class:`~repro.prng.RandomStream` (preserving in-place generation),
+``sizes(n)``
+    the paper's evaluation trick of converting a distribution over ``k``
+    categories into integer group sizes summing to ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Categorical",
+    "Uniform",
+    "Geometric",
+    "TruncatedGeometric",
+    "Zipf",
+    "PowerLaw",
+    "Poisson",
+    "Empirical",
+    "Constant",
+]
+
+
+class Distribution:
+    """A finite discrete distribution over ``range(k)``.
+
+    Subclasses implement :meth:`pmf`; everything else derives from it.
+    """
+
+    def pmf(self):
+        """Return the probability vector (1-D float64, sums to 1)."""
+        raise NotImplementedError
+
+    @property
+    def k(self):
+        """Size of the support."""
+        return len(self.pmf())
+
+    def cdf(self):
+        """Cumulative distribution over the support."""
+        return np.cumsum(self.pmf())
+
+    def sample(self, stream, index):
+        """Inverse-transform sample at positions ``index`` of ``stream``.
+
+        Deterministic: ``sample(stream, i)`` is a pure function of the
+        stream seed and ``i``, as required by the PG contract.
+        """
+        u = stream.uniform(index)
+        return np.searchsorted(self.cdf(), u, side="right").astype(np.int64)
+
+    def sizes(self, n):
+        """Split ``n`` items into group sizes proportional to the pmf.
+
+        Uses the largest-remainder method so the sizes are integers, sum
+        exactly to ``n``, and every group with positive probability gets
+        at least the floor of its quota.
+        """
+        p = self.pmf()
+        quota = p * n
+        base = np.floor(quota).astype(np.int64)
+        remainder = n - int(base.sum())
+        if remainder:
+            frac_order = np.argsort(-(quota - base), kind="stable")
+            base[frac_order[:remainder]] += 1
+        return base
+
+    def mean(self):
+        """Expected value, treating the support as ``0..k-1``."""
+        p = self.pmf()
+        return float(np.dot(np.arange(len(p)), p))
+
+    def entropy(self):
+        """Shannon entropy in nats."""
+        p = self.pmf()
+        nz = p[p > 0]
+        return float(-(nz * np.log(nz)).sum())
+
+
+class Categorical(Distribution):
+    """Explicit probability vector (normalised on construction)."""
+
+    def __init__(self, weights):
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1 or w.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if (w < 0).any():
+            raise ValueError("weights must be nonnegative")
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self._pmf = w / total
+
+    def pmf(self):
+        return self._pmf
+
+
+class Uniform(Distribution):
+    """Uniform distribution over ``k`` categories."""
+
+    def __init__(self, k):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self._k = int(k)
+
+    def pmf(self):
+        return np.full(self._k, 1.0 / self._k)
+
+
+class Geometric(Distribution):
+    """Geometric distribution truncated to ``k`` categories.
+
+    ``P(i) ∝ p (1 - p)^i`` for ``i`` in ``0..k-1``.
+    """
+
+    def __init__(self, p, k):
+        if not 0 < p < 1:
+            raise ValueError("p must be in (0, 1)")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.p = float(p)
+        self._k = int(k)
+
+    def pmf(self):
+        i = np.arange(self._k)
+        w = self.p * (1.0 - self.p) ** i
+        return w / w.sum()
+
+
+class TruncatedGeometric(Distribution):
+    """The paper's evaluation group-size distribution (Section 4.2).
+
+    The size of the ``i``-th group is proportional to
+    ``max(geo(p, i), 1/k)``: geometric, but floored at the uniform share so
+    no group is vanishingly small.  The paper uses ``p = 0.4``.
+    """
+
+    def __init__(self, p, k):
+        if not 0 < p < 1:
+            raise ValueError("p must be in (0, 1)")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.p = float(p)
+        self._k = int(k)
+
+    def pmf(self):
+        k = self._k
+        i = np.arange(k)
+        geo = self.p * (1.0 - self.p) ** i
+        w = np.maximum(geo, 1.0 / k)
+        return w / w.sum()
+
+
+class Zipf(Distribution):
+    """Zipf (discrete power-law rank) distribution: ``P(i) ∝ (i+1)^-s``."""
+
+    def __init__(self, s, k):
+        if s <= 0:
+            raise ValueError("exponent s must be positive")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.s = float(s)
+        self._k = int(k)
+
+    def pmf(self):
+        ranks = np.arange(1, self._k + 1, dtype=np.float64)
+        w = ranks ** (-self.s)
+        return w / w.sum()
+
+
+class PowerLaw(Distribution):
+    """Power-law over an integer value range ``[xmin, xmax]``.
+
+    ``P(x) ∝ x^-gamma``; used for degree sequences and community sizes
+    (the LFR generator's two power laws).  The support is shifted so that
+    category ``i`` corresponds to the value ``xmin + i``; use
+    :meth:`values` to recover actual values.
+    """
+
+    def __init__(self, gamma, xmin, xmax):
+        if xmin < 1 or xmax < xmin:
+            raise ValueError("need 1 <= xmin <= xmax")
+        self.gamma = float(gamma)
+        self.xmin = int(xmin)
+        self.xmax = int(xmax)
+
+    def values(self):
+        """The integer values the categories stand for."""
+        return np.arange(self.xmin, self.xmax + 1, dtype=np.int64)
+
+    def pmf(self):
+        x = self.values().astype(np.float64)
+        w = x ** (-self.gamma)
+        return w / w.sum()
+
+    def sample_values(self, stream, index):
+        """Sample actual values (not category indices)."""
+        return self.sample(stream, index) + self.xmin
+
+    def mean_value(self):
+        """Expected value over the actual support."""
+        return float(np.dot(self.values(), self.pmf()))
+
+
+class Poisson(Distribution):
+    """Poisson distribution truncated to ``0..k-1`` and renormalised."""
+
+    def __init__(self, lam, k):
+        if lam <= 0:
+            raise ValueError("lambda must be positive")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.lam = float(lam)
+        self._k = int(k)
+
+    def pmf(self):
+        from scipy.stats import poisson
+
+        w = poisson.pmf(np.arange(self._k), self.lam)
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("truncation removed all mass; increase k")
+        return w / total
+
+
+class Empirical(Distribution):
+    """Distribution estimated from observed category counts or samples."""
+
+    def __init__(self, counts):
+        c = np.asarray(counts, dtype=np.float64)
+        if c.ndim != 1 or c.size == 0:
+            raise ValueError("counts must be a non-empty 1-D sequence")
+        if (c < 0).any():
+            raise ValueError("counts must be nonnegative")
+        total = c.sum()
+        if total <= 0:
+            raise ValueError("counts must sum to a positive value")
+        self._pmf = c / total
+
+    @classmethod
+    def from_samples(cls, samples, k=None):
+        """Build from raw category samples (integers)."""
+        samples = np.asarray(samples, dtype=np.int64)
+        if samples.size == 0:
+            raise ValueError("need at least one sample")
+        size = int(samples.max()) + 1 if k is None else int(k)
+        counts = np.bincount(samples, minlength=size)
+        return cls(counts)
+
+    def pmf(self):
+        return self._pmf
+
+
+class Constant(Distribution):
+    """Degenerate distribution: all mass on one category."""
+
+    def __init__(self, value, k):
+        if not 0 <= value < k:
+            raise ValueError("value must lie in [0, k)")
+        self.value = int(value)
+        self._k = int(k)
+
+    def pmf(self):
+        p = np.zeros(self._k)
+        p[self.value] = 1.0
+        return p

@@ -1,0 +1,86 @@
+"""Joint measurement for multi-valued properties (paper §5).
+
+For single-valued properties, the joint ``P(X, Y)`` counts the value
+pair at an edge's endpoints.  For multi-valued properties (sets of
+values), every cross pair ``(x, y)`` with ``x`` in tail's set and ``y``
+in head's set contributes, weighted so each edge has unit total mass —
+the natural generalisation used for tag/interest co-occurrence
+analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .joint import JointDistribution
+
+__all__ = ["empirical_multivalue_joint", "encode_value_sets"]
+
+
+def encode_value_sets(sets, universe=None):
+    """Map tuples-of-values to tuples-of-codes.
+
+    Returns ``(encoded, universe)`` where ``universe`` lists distinct
+    values in first-seen-sorted order and ``encoded[i]`` is an int
+    tuple.
+    """
+    if universe is None:
+        seen = set()
+        for value_set in sets:
+            seen.update(value_set)
+        universe = sorted(seen, key=str)
+    position = {value: i for i, value in enumerate(universe)}
+    encoded = []
+    for value_set in sets:
+        try:
+            encoded.append(
+                tuple(position[value] for value in value_set)
+            )
+        except KeyError as error:
+            raise ValueError(
+                f"value {error.args[0]!r} outside the declared universe"
+            ) from None
+    return encoded, list(universe)
+
+
+def empirical_multivalue_joint(tails, heads, value_sets, k=None):
+    """Measure the pairwise joint of multi-valued endpoint labels.
+
+    Parameters
+    ----------
+    tails, heads:
+        edge endpoint node ids.
+    value_sets:
+        per-node tuples of integer codes (use
+        :func:`encode_value_sets` first for raw values).
+    k:
+        universe size; inferred when omitted.
+
+    Each edge distributes a total mass of 1 uniformly over the
+    ``|S_tail| * |S_head|`` cross pairs, keeping edges comparable
+    regardless of set sizes.
+    """
+    tails = np.asarray(tails, dtype=np.int64)
+    heads = np.asarray(heads, dtype=np.int64)
+    if tails.shape != heads.shape:
+        raise ValueError("tails and heads must have the same shape")
+    if k is None:
+        k = 0
+        for value_set in value_sets:
+            if value_set:
+                k = max(k, max(value_set) + 1)
+        k = max(k, 1)
+    counts = np.zeros((k, k), dtype=np.float64)
+    for tail, head in zip(tails, heads):
+        tail_set = value_sets[tail]
+        head_set = value_sets[head]
+        if not tail_set or not head_set:
+            continue
+        mass = 1.0 / (len(tail_set) * len(head_set))
+        for x in tail_set:
+            for y in head_set:
+                counts[x, y] += mass
+                counts[y, x] += mass
+    if counts.sum() <= 0:
+        raise ValueError("no labelled edges to measure")
+    return JointDistribution(counts)

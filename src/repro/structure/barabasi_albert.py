@@ -1,0 +1,92 @@
+"""Barabási–Albert preferential attachment.
+
+A standard scale-free baseline: each new node attaches to ``m`` existing
+nodes with probability proportional to their degree.  Included for the
+structural-requirement coverage (power-law degrees with a growth
+mechanism rather than R-MAT's recursive one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StructureGenerator, edge_table_from_pairs
+
+__all__ = ["BarabasiAlbert"]
+
+
+class BarabasiAlbert(StructureGenerator):
+    """SG implementing Barabási–Albert attachment.
+
+    Parameters (via ``initialize``)
+    -------------------------------
+    m:
+        edges added per incoming node (also the size of the seed clique).
+
+    Implementation uses the repeated-nodes trick: maintaining a list in
+    which each node appears once per unit of degree makes
+    degree-proportional sampling a uniform draw from the list.
+    """
+
+    name = "barabasi_albert"
+
+    def parameter_names(self):
+        return {"m"}
+
+    def _validate_params(self):
+        m = self._params.get("m")
+        if m is not None and m < 1:
+            raise ValueError("m must be >= 1")
+
+    def _generate(self, n, stream):
+        m = self._params.get("m")
+        if m is None:
+            raise ValueError("BarabasiAlbert needs parameter 'm'")
+        if n <= m:
+            # Too small for attachment; return a complete graph.
+            iu, ju = np.triu_indices(n, k=1)
+            return edge_table_from_pairs(
+                self.name, np.stack([iu, ju], axis=1), n
+            )
+        # Seed: star over the first m + 1 nodes (keeps degrees positive).
+        seed_t = np.zeros(m, dtype=np.int64)
+        seed_h = np.arange(1, m + 1, dtype=np.int64)
+        tails = [seed_t]
+        heads = [seed_h]
+        # Degree-repeated list seeded from the star.
+        rep_list = np.concatenate([seed_t, seed_h]).tolist()
+        for new in range(m + 1, n):
+            node_stream = stream.indexed_substream(new)
+            chosen = set()
+            attempt = 0
+            while len(chosen) < m:
+                idx = int(
+                    node_stream.randint(
+                        np.int64(attempt), 0, len(rep_list)
+                    )
+                )
+                chosen.add(rep_list[idx])
+                attempt += 1
+                if attempt > 50 * m:
+                    # Fall back to uniform over existing nodes.
+                    extra = int(
+                        node_stream.randint(np.int64(attempt), 0, new)
+                    )
+                    chosen.add(extra)
+            targets = np.fromiter(chosen, dtype=np.int64, count=m)
+            tails.append(np.full(m, new, dtype=np.int64))
+            heads.append(targets)
+            rep_list.extend(targets.tolist())
+            rep_list.extend([new] * m)
+        pairs = np.stack(
+            [np.concatenate(tails), np.concatenate(heads)], axis=1
+        )
+        return edge_table_from_pairs(self.name, pairs, n)
+
+    def expected_edges_for_nodes(self, n):
+        m = self._params.get("m")
+        if m is None:
+            raise ValueError("generator not configured")
+        if n <= m:
+            return n * (n - 1) // 2
+        return m + (n - m - 1) * m

@@ -1,0 +1,154 @@
+"""The Structure Generator (SG) interface of Section 4.1.
+
+An SG is a pluggable object with three methods:
+
+``initialize(**params)``
+    configure the generator (degree distributions, model knobs, ...),
+``run(n) -> EdgeTable``
+    generate the edges of a graph with ``n`` nodes,
+``get_num_nodes(num_edges) -> n``
+    invert the scale: how many nodes produce roughly ``num_edges`` edges —
+    this is how a user sizes a graph by edge count.
+
+All SGs here are deterministic given their seed, return simple
+(loop-free, parallel-free) undirected graphs unless documented
+otherwise, and operate on numpy edge arrays throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..prng import RandomStream
+from ..tables import EdgeTable
+
+__all__ = ["StructureGenerator", "ensure_even_sum"]
+
+
+class StructureGenerator:
+    """Base class implementing the SG contract.
+
+    Subclasses override :meth:`_generate` (and usually
+    :meth:`expected_edges_for_nodes`, from which the default
+    :meth:`get_num_nodes` inversion derives).
+
+    Parameters are passed either to the constructor or to
+    :meth:`initialize`; the two are equivalent, the latter exists to
+    mirror the paper's interface literally.
+    """
+
+    #: Name under which the generator is registered for the DSL.
+    name = "abstract"
+
+    def __init__(self, seed=0, **params):
+        self.seed = int(seed)
+        self._params = {}
+        if params:
+            self.initialize(**params)
+
+    # -- SG contract -------------------------------------------------------
+
+    def initialize(self, **params):
+        """Configure the generator; unknown keys raise immediately."""
+        valid = self.parameter_names()
+        for key in params:
+            if key not in valid:
+                raise TypeError(
+                    f"{type(self).__name__} got unexpected parameter "
+                    f"{key!r}; valid: {sorted(valid)}"
+                )
+        self._params.update(params)
+        self._validate_params()
+
+    def run(self, n):
+        """Generate an :class:`EdgeTable` for a graph with ``n`` nodes."""
+        n = int(n)
+        if n < 0:
+            raise ValueError("n must be nonnegative")
+        stream = RandomStream(self.seed, f"sg.{self.name}")
+        return self._generate(n, stream)
+
+    def get_num_nodes(self, num_edges):
+        """Number of nodes so that ``run(n)`` yields ≈ ``num_edges`` edges.
+
+        The default implementation inverts
+        :meth:`expected_edges_for_nodes` by bisection, which works for any
+        monotone edge-count model.
+        """
+        num_edges = int(num_edges)
+        if num_edges < 0:
+            raise ValueError("num_edges must be nonnegative")
+        if num_edges == 0:
+            return 0
+        lo, hi = 1, 2
+        while self.expected_edges_for_nodes(hi) < num_edges:
+            hi *= 2
+            if hi > 1 << 40:
+                raise ValueError("edge target not reachable")
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.expected_edges_for_nodes(mid) < num_edges:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def parameter_names(self):
+        """Set of accepted ``initialize`` keys.  Override in subclasses."""
+        return set()
+
+    def _validate_params(self):
+        """Validate the current parameter set; raise ``ValueError`` on
+        inconsistent configurations.  Called after every ``initialize``."""
+
+    def _generate(self, n, stream):
+        raise NotImplementedError
+
+    def expected_edges_for_nodes(self, n):
+        """Expected edge count of ``run(n)``; used by the default
+        :meth:`get_num_nodes`.  Override for generators with a known
+        edge-count model."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define an edge-count model"
+        )
+
+    # -- conveniences ----------------------------------------------------------
+
+    def param(self, key, default=None):
+        """Read a configured parameter."""
+        return self._params.get(key, default)
+
+    def __repr__(self):
+        kv = ", ".join(f"{k}={v!r}" for k, v in sorted(self._params.items()))
+        return f"{type(self).__name__}(seed={self.seed}, {kv})"
+
+
+def ensure_even_sum(degrees, stream):
+    """Make a degree sequence realisable: force an even degree sum.
+
+    Configuration-model constructions pair half-edges, which requires an
+    even total.  When the sampled sum is odd, one node chosen
+    deterministically from ``stream`` gets one extra half-edge.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64).copy()
+    if degrees.size and int(degrees.sum()) % 2 == 1:
+        bump = int(stream.randint(np.int64(degrees.size), 0, degrees.size))
+        degrees[bump] += 1
+    return degrees
+
+
+def edge_table_from_pairs(name, pairs, n, directed=False):
+    """Build an :class:`EdgeTable` from an ``(m, 2)`` pair array."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        pairs = pairs.reshape(0, 2)
+    return EdgeTable(
+        name,
+        pairs[:, 0],
+        pairs[:, 1],
+        num_tail_nodes=n,
+        num_head_nodes=n,
+        directed=directed,
+    )

@@ -1,0 +1,108 @@
+"""Bipartite many-to-many structure generation.
+
+Edges between two *different* node types (e.g. Person –likes– Message)
+need a bipartite SG.  This module implements the bipartite configuration
+model (independent degree distributions per side, reconciled to a common
+stub count) whose output feeds the bipartite variant of SBM-Part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StructureGenerator
+from ..tables import EdgeTable
+
+__all__ = ["BipartiteConfiguration"]
+
+
+class BipartiteConfiguration(StructureGenerator):
+    """Bipartite configuration model.
+
+    Parameters (via ``initialize``)
+    -------------------------------
+    tail_distribution, head_distribution:
+        :class:`~repro.stats.Distribution` over per-node degrees for each
+        side (category ``i`` = degree ``i + offset``).
+    tail_offset, head_offset:
+        degree offsets (default 0).
+    head_nodes:
+        explicit head-side node count; when omitted it is sized so the
+        head-side expected stub count matches the tail side.
+
+    ``run(n)`` takes ``n`` as the tail-side node count.  The head stub
+    total is reconciled to the tail total by repeating/truncating the
+    sampled head degrees' stub array.
+    """
+
+    name = "bipartite_configuration"
+
+    def parameter_names(self):
+        return {
+            "tail_distribution",
+            "head_distribution",
+            "tail_offset",
+            "head_offset",
+            "head_nodes",
+        }
+
+    def _generate(self, n, stream):
+        tail_dist = self._params.get("tail_distribution")
+        head_dist = self._params.get("head_distribution")
+        if tail_dist is None or head_dist is None:
+            raise ValueError(
+                "BipartiteConfiguration needs 'tail_distribution' and "
+                "'head_distribution'"
+            )
+        t_off = int(self._params.get("tail_offset", 0))
+        h_off = int(self._params.get("head_offset", 0))
+        tail_deg = tail_dist.sample(
+            stream.substream("tail"), np.arange(n, dtype=np.int64)
+        ) + t_off
+        total = int(tail_deg.sum())
+
+        head_nodes = self._params.get("head_nodes")
+        if head_nodes is None:
+            head_mean = head_dist.mean() + h_off
+            head_nodes = max(int(round(total / max(head_mean, 1e-9))), 1)
+        head_nodes = int(head_nodes)
+        head_deg = head_dist.sample(
+            stream.substream("head"), np.arange(head_nodes, dtype=np.int64)
+        ) + h_off
+
+        tail_stubs = np.repeat(np.arange(n, dtype=np.int64), tail_deg)
+        head_stubs = np.repeat(
+            np.arange(head_nodes, dtype=np.int64), head_deg
+        )
+        # Reconcile stub counts: tile the short side.
+        if head_stubs.size == 0 and total > 0:
+            head_stubs = np.zeros(total, dtype=np.int64)
+        if head_stubs.size < total:
+            reps = int(np.ceil(total / max(head_stubs.size, 1)))
+            head_stubs = np.tile(head_stubs, reps)[:total]
+        elif head_stubs.size > total:
+            head_stubs = head_stubs[:total]
+
+        if total:
+            perm = stream.substream("shuffle").permutation(total)
+            head_stubs = head_stubs[perm]
+        table = EdgeTable(
+            self.name,
+            tail_stubs,
+            head_stubs,
+            num_tail_nodes=n,
+            num_head_nodes=head_nodes,
+            directed=True,
+        )
+        # Erase duplicate (tail, head) pairs.
+        keys = table.tails * np.int64(head_nodes) + table.heads
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        return table.subsample(first)
+
+    def expected_edges_for_nodes(self, n):
+        tail_dist = self._params.get("tail_distribution")
+        if tail_dist is None:
+            raise ValueError("generator not configured")
+        return int(n * (tail_dist.mean()
+                        + int(self._params.get("tail_offset", 0))))

@@ -1,0 +1,170 @@
+"""Tree cascades: message-reply trees (paper Section 5, future work).
+
+Social networks contain message cascades — reply trees rooted at an
+original post.  The paper proposes modelling these with a vertex-centric
+approach where information propagates through the cascade.  This SG
+grows forests of preferential-attachment trees: each new node attaches
+to an existing node of its cascade, favouring recent/shallow nodes via a
+configurable decay, producing the broom-shaped cascades observed in
+practice.
+
+The per-node metadata needed by propagation-style property generation
+(root id, parent id, depth) is exposed through :meth:`run_with_metadata`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StructureGenerator
+from ..tables import EdgeTable
+
+__all__ = ["CascadeForest", "CascadeResult"]
+
+
+class CascadeResult:
+    """Cascade structure plus per-node propagation metadata."""
+
+    __slots__ = ("table", "roots", "parents", "depths")
+
+    def __init__(self, table, roots, parents, depths):
+        self.table = table
+        self.roots = roots
+        self.parents = parents
+        self.depths = depths
+
+    @property
+    def num_cascades(self):
+        return int(np.unique(self.roots).size)
+
+
+class CascadeForest(StructureGenerator):
+    """SG producing a forest of reply trees.
+
+    Parameters (via ``initialize``)
+    -------------------------------
+    num_cascades:
+        number of trees; node 0..num_cascades-1 are the roots.
+    depth_bias:
+        >= 0; larger values favour attaching near the root (flat,
+        star-like cascades), 0 gives uniform random attachment (deeper
+        chains).  Default 1.0.
+    """
+
+    name = "cascade_forest"
+
+    def parameter_names(self):
+        return {"num_cascades", "depth_bias"}
+
+    def _validate_params(self):
+        c = self._params.get("num_cascades")
+        if c is not None and c < 1:
+            raise ValueError("num_cascades must be >= 1")
+        bias = self._params.get("depth_bias", 1.0)
+        if bias < 0:
+            raise ValueError("depth_bias must be nonnegative")
+
+    def run_with_metadata(self, n):
+        """Generate and return the :class:`CascadeResult`."""
+        from ..prng import RandomStream
+
+        n = int(n)
+        stream = RandomStream(self.seed, f"sg.{self.name}")
+        num_cascades = int(self._params.get("num_cascades", 1))
+        if n == 0:
+            empty = EdgeTable(self.name, [], [], num_tail_nodes=0)
+            zero = np.empty(0, dtype=np.int64)
+            return CascadeResult(empty, zero, zero.copy(), zero.copy())
+        num_cascades = min(num_cascades, n)
+        bias = float(self._params.get("depth_bias", 1.0))
+
+        roots = np.empty(n, dtype=np.int64)
+        parents = np.full(n, -1, dtype=np.int64)
+        depths = np.zeros(n, dtype=np.int64)
+        roots[:num_cascades] = np.arange(num_cascades)
+
+        # Assign each non-root node to a cascade round-robin after a
+        # random offset, so cascades have near-equal sizes but different
+        # membership across seeds.
+        cascade_of = np.empty(n, dtype=np.int64)
+        cascade_of[:num_cascades] = np.arange(num_cascades)
+        if n > num_cascades:
+            offset_draw = stream.substream("offsets")
+            idx = np.arange(n - num_cascades, dtype=np.int64)
+            cascade_of[num_cascades:] = (
+                offset_draw.randint(idx, 0, num_cascades)
+            )
+
+        members = [[int(c)] for c in range(num_cascades)]
+        tails = np.empty(max(n - num_cascades, 0), dtype=np.int64)
+        heads = np.empty_like(tails)
+        attach = stream.substream("attach")
+        edge_at = 0
+        for node in range(num_cascades, n):
+            cascade = int(cascade_of[node])
+            pool = members[cascade]
+            if bias > 0.0:
+                weights = np.array(
+                    [1.0 / (1.0 + bias * depths[p]) for p in pool]
+                )
+                pick = int(attach.indexed_substream(node).choice(
+                    np.int64(0), weights
+                ))
+            else:
+                pick = int(
+                    attach.indexed_substream(node).randint(
+                        np.int64(0), 0, len(pool)
+                    )
+                )
+            parent = pool[pick]
+            parents[node] = parent
+            roots[node] = roots[parent]
+            depths[node] = depths[parent] + 1
+            tails[edge_at] = parent
+            heads[edge_at] = node
+            edge_at += 1
+            pool.append(node)
+
+        table = EdgeTable(
+            self.name,
+            tails,
+            heads,
+            num_tail_nodes=n,
+            num_head_nodes=n,
+            directed=True,
+        )
+        return CascadeResult(table, roots, parents, depths)
+
+    def _generate(self, n, stream):
+        return self.run_with_metadata(n).table
+
+    def expected_edges_for_nodes(self, n):
+        num_cascades = int(self._params.get("num_cascades", 1))
+        return max(n - min(num_cascades, n), 0)
+
+    def propagate(self, result, values, update):
+        """Propagate information down the cascades (vertex-centric).
+
+        Applies ``update(parent_value, node_id, depth) -> value`` level
+        by level, exactly the iterative scheme sketched in the paper for
+        tree-structured properties (e.g. reply timestamps that must
+        exceed the parent's).
+
+        Parameters
+        ----------
+        result:
+            a :class:`CascadeResult` from :meth:`run_with_metadata`.
+        values:
+            initial per-node values; roots keep theirs.
+        update:
+            callable combining the parent's (already final) value.
+        """
+        values = list(values)
+        order = np.argsort(result.depths, kind="stable")
+        for node in order:
+            parent = result.parents[node]
+            if parent >= 0:
+                values[node] = update(
+                    values[parent], int(node), int(result.depths[node])
+                )
+        return values

@@ -1,0 +1,168 @@
+"""Configuration model: wire a prescribed degree sequence.
+
+The configuration model pairs "half-edges" (stubs) uniformly at random;
+it is the workhorse inside LFR (intra- and inter-community wiring) and a
+useful SG in its own right for reproducing an empirical degree
+distribution, one of the requirements of Section 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StructureGenerator, edge_table_from_pairs, ensure_even_sum
+from ..stats import Empirical
+
+__all__ = ["ConfigurationModel", "pair_stubs"]
+
+
+def pair_stubs(degrees, stream, simplify=True):
+    """Pair half-edges of ``degrees`` into an ``(m, 2)`` edge array.
+
+    Parameters
+    ----------
+    degrees:
+        nonnegative int degree per node; the sum must be even.
+    stream:
+        PRNG stream used to shuffle the stub array.
+    simplify:
+        when True, self loops and parallel edges are dropped (the
+        standard "erased configuration model"), so realised degrees can
+        be slightly below the prescription for heavy-tailed sequences.
+
+    Returns
+    -------
+    (m, 2) int64 array of endpoints.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.size and degrees.min() < 0:
+        raise ValueError("degrees must be nonnegative")
+    total = int(degrees.sum())
+    if total % 2 == 1:
+        raise ValueError("degree sum must be even")
+    if total == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    stubs = np.repeat(np.arange(degrees.size, dtype=np.int64), degrees)
+    perm = stream.permutation(total)
+    stubs = stubs[perm]
+    pairs = stubs.reshape(-1, 2)
+    if simplify:
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        keep = lo != hi
+        lo, hi = lo[keep], hi[keep]
+        keys = lo * np.int64(degrees.size) + hi
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        pairs = np.stack([lo[first], hi[first]], axis=1)
+    return pairs
+
+
+def pair_stubs_with_repair(degrees, stream, rounds=3):
+    """Erased configuration model with deficit-repair rounds.
+
+    Plain erased pairing loses substantial degree mass on dense inputs
+    (duplicates collapse).  After each round the per-node deficit
+    (prescribed minus realised degree) is re-paired; accumulated edges
+    are globally deduplicated.  Converges quickly: dense communities in
+    LFR recover most of their prescribed degree in 2-3 rounds.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    n = degrees.size
+    realised = np.zeros(n, dtype=np.int64)
+    seen = None
+    chunks = []
+    deficit = degrees.copy()
+    for round_id in range(rounds):
+        if int(deficit.sum()) < 2:
+            break
+        if int(deficit.sum()) % 2 == 1:
+            top = int(np.argmax(deficit))
+            deficit[top] -= 1
+        pairs = pair_stubs(
+            deficit, stream.substream(f"repair{round_id}"), simplify=True
+        )
+        if pairs.size == 0:
+            break
+        keys = pairs[:, 0] * np.int64(n) + pairs[:, 1]
+        if seen is None:
+            seen = keys
+            fresh = pairs
+        else:
+            new_mask = ~np.isin(keys, seen)
+            fresh = pairs[new_mask]
+            if fresh.size == 0:
+                break
+            seen = np.concatenate([seen, keys[new_mask]])
+        chunks.append(fresh)
+        np.add.at(realised, fresh[:, 0], 1)
+        np.add.at(realised, fresh[:, 1], 1)
+        deficit = np.maximum(degrees - realised, 0)
+    if chunks:
+        return np.concatenate(chunks, axis=0)
+    return np.empty((0, 2), dtype=np.int64)
+
+
+class ConfigurationModel(StructureGenerator):
+    """SG reproducing a target degree distribution.
+
+    Parameters (via ``initialize``)
+    -------------------------------
+    degrees:
+        explicit per-node degree sequence (overrides ``distribution``), or
+    distribution:
+        a :class:`~repro.stats.Distribution` over degree values sampled
+        i.i.d. per node.
+    simplify:
+        drop loops/multi-edges (default True).
+    """
+
+    name = "configuration"
+
+    def parameter_names(self):
+        return {"degrees", "distribution", "simplify"}
+
+    def _validate_params(self):
+        if "degrees" not in self._params and "distribution" not in self._params:
+            return  # allowed to configure later
+        if "degrees" in self._params:
+            d = np.asarray(self._params["degrees"], dtype=np.int64)
+            if d.ndim != 1:
+                raise ValueError("degrees must be 1-D")
+            if d.size and d.min() < 0:
+                raise ValueError("degrees must be nonnegative")
+
+    def _degree_sequence(self, n, stream):
+        if "degrees" in self._params:
+            degrees = np.asarray(self._params["degrees"], dtype=np.int64)
+            if degrees.size != n:
+                raise ValueError(
+                    f"degree sequence length {degrees.size} != n {n}"
+                )
+            return ensure_even_sum(degrees, stream)
+        dist = self._params.get("distribution")
+        if dist is None:
+            raise ValueError(
+                "ConfigurationModel needs 'degrees' or 'distribution'"
+            )
+        degrees = dist.sample(stream.substream("degrees"), np.arange(n))
+        return ensure_even_sum(degrees, stream)
+
+    def _generate(self, n, stream):
+        degrees = self._degree_sequence(n, stream)
+        pairs = pair_stubs(
+            degrees,
+            stream.substream("pairing"),
+            simplify=self._params.get("simplify", True),
+        )
+        return edge_table_from_pairs(self.name, pairs, n)
+
+    def expected_edges_for_nodes(self, n):
+        if "degrees" in self._params:
+            return int(np.asarray(self._params["degrees"]).sum() // 2)
+        dist = self._params.get("distribution")
+        if dist is None:
+            raise ValueError("generator not configured")
+        if isinstance(dist, Empirical) or hasattr(dist, "mean"):
+            return int(n * dist.mean() / 2)
+        raise NotImplementedError

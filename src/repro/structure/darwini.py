@@ -1,0 +1,161 @@
+"""Darwini: clustering-coefficient *distribution* per degree (Edunov et al.).
+
+Darwini extends BTER: instead of matching only the average clustering
+coefficient per degree, it matches the *distribution* of clustering
+coefficients among the nodes of each degree (the ``ccdd`` column of the
+paper's Table 1).  The published algorithm:
+
+1. assign each vertex a target degree and a target clustering
+   coefficient drawn from the per-degree cc distribution;
+2. convert the cc target into a target number of closed wedges
+   (triangles incident to the vertex);
+3. bucket vertices by similar triangle demand and build small dense
+   Erdős–Rényi "communities" inside each bucket, sized so the expected
+   triangle count matches the demand;
+4. satisfy the remaining degree with global Chung–Lu wiring.
+
+Our implementation follows that structure with one simplification,
+recorded in DESIGN.md: buckets are keyed by the quantised pair
+(degree, cc target), and the in-bucket ER block reuses the BTER affinity
+construction with ``rho`` solved from the *bucket's own* cc target rather
+than from a global per-degree average.  This is precisely the "finer
+granularity" of Darwini, realised with the same machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StructureGenerator, edge_table_from_pairs
+from .bter import chung_lu_pairs
+from .degree_sequences import powerlaw_degree_sequence
+from ..tables import EdgeTable
+
+__all__ = ["Darwini"]
+
+
+class Darwini(StructureGenerator):
+    """SG implementing the (simplified) Darwini model.
+
+    Parameters (via ``initialize``)
+    -------------------------------
+    degrees:
+        explicit degree sequence, or ``avg_degree`` / ``max_degree`` /
+        ``gamma`` power-law parameters (as in BTER).
+    cc_sampler:
+        callable ``(degree, u) -> cc`` mapping a degree and a uniform
+        draw to a clustering-coefficient target; the default draws from
+        a Beta-like spread around a decaying mean, giving every degree a
+        nontrivial cc *distribution* rather than a point mass.
+    cc_bins:
+        number of quantisation bins for cc targets within a degree
+        (default 8).
+    """
+
+    name = "darwini"
+
+    @staticmethod
+    def default_cc_sampler(degree, u):
+        """Decaying mean with multiplicative spread (u in [0, 1))."""
+        if degree < 2:
+            return 0.0
+        mean = 0.95 * np.exp(-(degree - 2) / 15.0)
+        # Spread: scale by a factor in [0.5, 1.5).
+        return float(np.clip(mean * (0.5 + u), 0.0, 1.0))
+
+    def parameter_names(self):
+        return {
+            "degrees",
+            "avg_degree",
+            "max_degree",
+            "gamma",
+            "cc_sampler",
+            "cc_bins",
+        }
+
+    def _degree_sequence(self, n, stream):
+        if "degrees" in self._params:
+            degrees = np.asarray(self._params["degrees"], dtype=np.int64)
+            if degrees.size != n:
+                raise ValueError(
+                    f"degree sequence length {degrees.size} != n {n}"
+                )
+            return degrees
+        return powerlaw_degree_sequence(
+            n,
+            self._params.get("gamma", 2.0),
+            self._params.get("avg_degree", 20),
+            self._params.get("max_degree", 50),
+            stream.substream("degrees"),
+        )
+
+    def _generate(self, n, stream):
+        if n == 0:
+            return EdgeTable(self.name, [], [], num_tail_nodes=0)
+        degrees = self._degree_sequence(n, stream)
+        sampler = self._params.get("cc_sampler", self.default_cc_sampler)
+        bins = int(self._params.get("cc_bins", 8))
+        if bins < 1:
+            raise ValueError("cc_bins must be >= 1")
+
+        # Per-node cc targets, then quantised bucket keys (degree, bin).
+        u = stream.substream("cc").uniform(np.arange(n, dtype=np.int64))
+        cc_targets = np.array(
+            [sampler(int(d), float(ui)) for d, ui in zip(degrees, u)]
+        )
+        cc_bin = np.minimum((cc_targets * bins).astype(np.int64), bins - 1)
+        keys = degrees * np.int64(bins) + cc_bin
+
+        order = np.lexsort((cc_bin, degrees))
+        eligible = order[degrees[order] >= 2]
+        excess = degrees.astype(np.float64).copy()
+
+        chunks = []
+        pos = 0
+        block_id = 0
+        while pos < eligible.size:
+            lead = eligible[pos]
+            lead_degree = int(degrees[lead])
+            lead_key = keys[lead]
+            # Block spans same-bucket nodes only, up to degree + 1 members.
+            limit = min(pos + lead_degree + 1, eligible.size)
+            end = pos
+            while end < limit and keys[eligible[end]] == lead_key:
+                end += 1
+            members = eligible[pos:end]
+            pos = end
+            size = members.size
+            if size < 2:
+                continue
+            # Solve rho from the bucket's own cc target.
+            rho = float(np.cbrt(cc_targets[lead]))
+            if rho > 0.0:
+                block_stream = stream.substream(f"block{block_id}")
+                iu, ju = np.triu_indices(size, k=1)
+                draw = block_stream.uniform(
+                    np.arange(iu.size, dtype=np.int64)
+                )
+                take = draw < rho
+                if take.any():
+                    chunks.append(
+                        np.stack(
+                            [members[iu[take]], members[ju[take]]], axis=1
+                        )
+                    )
+                excess[members] -= rho * (size - 1)
+            block_id += 1
+
+        np.maximum(excess, 0.0, out=excess)
+        phase2 = chung_lu_pairs(excess, stream.substream("phase2"))
+        if phase2.size:
+            chunks.append(phase2)
+        if chunks:
+            pairs = np.concatenate(chunks, axis=0)
+        else:
+            pairs = np.empty((0, 2), dtype=np.int64)
+        return edge_table_from_pairs(self.name, pairs, n).deduplicated()
+
+    def expected_edges_for_nodes(self, n):
+        if "degrees" in self._params:
+            return int(np.asarray(self._params["degrees"]).sum() // 2)
+        return int(n * self._params.get("avg_degree", 20) / 2)

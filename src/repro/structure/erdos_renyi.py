@@ -1,0 +1,130 @@
+"""Erdős–Rényi G(n, p) and G(n, m) generators.
+
+Not referenced in the paper's Table 1 but the canonical "no structure"
+baseline: uniform random edges, Poisson-ish degrees, no communities, no
+clustering.  Used in tests and ablations as the structure with *nothing*
+to exploit for SBM-Part.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StructureGenerator, edge_table_from_pairs
+
+__all__ = ["ErdosRenyi", "ErdosRenyiM"]
+
+
+def _sample_distinct_pairs(n, count, stream, name):
+    """Sample ``count`` distinct unordered non-loop pairs from ``n`` nodes.
+
+    Oversamples and deduplicates in rounds; with ``count`` well below the
+    total pair count this converges in one or two rounds.
+    """
+    total_pairs = n * (n - 1) // 2
+    if count > total_pairs:
+        raise ValueError(
+            f"{name}: requested {count} edges but only {total_pairs} "
+            "distinct pairs exist"
+        )
+    chosen = np.empty(0, dtype=np.int64)
+    round_id = 0
+    while chosen.size < count:
+        need = count - chosen.size
+        draw = int(need * 1.3) + 16
+        sub = stream.substream(f"round{round_id}")
+        idx = np.arange(draw, dtype=np.int64)
+        codes = (sub.uniform(idx) * total_pairs).astype(np.int64)
+        chosen = np.unique(np.concatenate([chosen, codes]))
+        round_id += 1
+    if chosen.size > count:
+        # Keep a deterministic subset: ranked by a per-code random key.
+        key_stream = stream.substream("thin")
+        keys = key_stream.uniform(chosen)
+        chosen = chosen[np.argsort(keys, kind="stable")[:count]]
+    # Decode the linear pair index into (u, v) with u < v using the
+    # triangular-number inverse.
+    k = chosen.astype(np.float64)
+    u = np.floor((1.0 + np.sqrt(1.0 + 8.0 * k)) / 2.0).astype(np.int64)
+    # Guard against floating point at the triangle boundaries.
+    tri = u * (u - 1) // 2
+    too_big = tri > chosen
+    u[too_big] -= 1
+    tri = u * (u - 1) // 2
+    too_small = chosen >= tri + u
+    u[too_small] += 1
+    tri = u * (u - 1) // 2
+    v = chosen - tri
+    return np.stack([v, u], axis=1)
+
+
+class ErdosRenyi(StructureGenerator):
+    """G(n, p): each pair independently present with probability ``p``.
+
+    Realised by drawing ``Binomial(n_pairs, p)`` edges via the G(n, m)
+    sampler, which is equivalent in distribution and much faster than
+    testing all pairs.
+    """
+
+    name = "erdos_renyi"
+
+    def parameter_names(self):
+        return {"p"}
+
+    def _validate_params(self):
+        p = self._params.get("p")
+        if p is not None and not 0.0 <= p <= 1.0:
+            raise ValueError("p must lie in [0, 1]")
+
+    def _generate(self, n, stream):
+        p = self._params.get("p")
+        if p is None:
+            raise ValueError("ErdosRenyi needs parameter 'p'")
+        total_pairs = n * (n - 1) // 2
+        mean = total_pairs * p
+        std = np.sqrt(max(total_pairs * p * (1.0 - p), 0.0))
+        # Gaussian approximation of the binomial count, deterministic.
+        z = float(stream.normal(np.int64(1), 0.0, 1.0))
+        m = int(round(mean + std * z))
+        m = max(0, min(m, total_pairs))
+        pairs = _sample_distinct_pairs(n, m, stream.substream("pairs"), self.name)
+        return edge_table_from_pairs(self.name, pairs, n)
+
+    def expected_edges_for_nodes(self, n):
+        p = self._params.get("p")
+        if p is None:
+            raise ValueError("generator not configured")
+        return int(n * (n - 1) // 2 * p)
+
+
+class ErdosRenyiM(StructureGenerator):
+    """G(n, m): exactly ``m`` uniform distinct edges."""
+
+    name = "erdos_renyi_m"
+
+    def parameter_names(self):
+        return {"m", "edges_per_node"}
+
+    def _validate_params(self):
+        m = self._params.get("m")
+        if m is not None and m < 0:
+            raise ValueError("m must be nonnegative")
+        epn = self._params.get("edges_per_node")
+        if epn is not None and epn <= 0:
+            raise ValueError("edges_per_node must be positive")
+
+    def _edge_count(self, n):
+        if "m" in self._params:
+            return int(self._params["m"])
+        epn = self._params.get("edges_per_node")
+        if epn is None:
+            raise ValueError("ErdosRenyiM needs 'm' or 'edges_per_node'")
+        return int(n * epn)
+
+    def _generate(self, n, stream):
+        m = min(self._edge_count(n), n * (n - 1) // 2)
+        pairs = _sample_distinct_pairs(n, m, stream.substream("pairs"), self.name)
+        return edge_table_from_pairs(self.name, pairs, n)
+
+    def expected_edges_for_nodes(self, n):
+        return min(self._edge_count(n), n * (n - 1) // 2)

@@ -1,0 +1,6 @@
+"""Columnar data model: Property Tables and Edge Tables (Section 4.1)."""
+
+from .edge_table import EdgeTable
+from .property_table import PropertyTable
+
+__all__ = ["EdgeTable", "PropertyTable"]

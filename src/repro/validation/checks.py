@@ -1,0 +1,303 @@
+"""Declarative validation of generated property graphs.
+
+Benchmark datasets come with contracts: cardinalities must hold
+exactly, date orderings must never be violated, distributions must be
+within tolerance of their specification.  This module provides a small
+validator framework: each :class:`Check` inspects a
+:class:`~repro.core.result.PropertyGraph` and returns a
+:class:`CheckResult`; :func:`validate` runs a list of checks and
+aggregates a report.
+
+The built-in checks cover every contract the running example states,
+so ``validate(graph, standard_checks(schema))`` is a one-call
+post-generation audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Check",
+    "CheckResult",
+    "ValidationReport",
+    "CardinalityCheck",
+    "DateOrderingCheck",
+    "MarginalDistributionCheck",
+    "JointDistributionCheck",
+    "DegreeDistributionCheck",
+    "UniquenessCheck",
+    "validate",
+]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one check."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    metric: float | None = None
+
+    def __str__(self):
+        status = "ok" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.name}{suffix}"
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated results of a validation run."""
+
+    results: list = field(default_factory=list)
+
+    @property
+    def passed(self):
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self):
+        return [r for r in self.results if not r.passed]
+
+    def __str__(self):
+        lines = [str(result) for result in self.results]
+        lines.append(
+            f"{len(self.results) - len(self.failures)}/"
+            f"{len(self.results)} checks passed"
+        )
+        return "\n".join(lines)
+
+
+class Check:
+    """Base class: subclasses implement :meth:`run`."""
+
+    name = "abstract"
+
+    def run(self, graph):
+        """Return a :class:`CheckResult` for ``graph``."""
+        raise NotImplementedError
+
+
+class CardinalityCheck(Check):
+    """Verify the declared cardinality of an edge type holds exactly.
+
+    1→* : every head node has exactly one incident edge;
+    1→1 : both sides are perfect matchings.
+    """
+
+    def __init__(self, edge_name):
+        self.edge_name = edge_name
+        self.name = f"cardinality[{edge_name}]"
+
+    def run(self, graph):
+        from ..core.schema import Cardinality
+
+        edge = graph.schema.edge_type(self.edge_name)
+        table = graph.edges(self.edge_name)
+        if edge.cardinality is Cardinality.MANY_TO_MANY:
+            return CheckResult(
+                self.name, True, "*..* imposes no constraint"
+            )
+        head_counts = np.bincount(
+            table.heads, minlength=graph.num_nodes(edge.head_type)
+        )
+        if edge.cardinality is Cardinality.ONE_TO_MANY:
+            bad = int((head_counts != 1).sum())
+            return CheckResult(
+                self.name,
+                bad == 0,
+                f"{bad} head nodes violate exactly-one-edge",
+                metric=float(bad),
+            )
+        # ONE_TO_ONE
+        tail_counts = np.bincount(
+            table.tails, minlength=graph.num_nodes(edge.tail_type)
+        )
+        bad = int((head_counts != 1).sum() + (tail_counts != 1).sum())
+        return CheckResult(
+            self.name,
+            bad == 0,
+            f"{bad} endpoint violations of the bijection",
+            metric=float(bad),
+        )
+
+
+class DateOrderingCheck(Check):
+    """Verify an edge date property exceeds its endpoint dates.
+
+    Parameters
+    ----------
+    edge_name, edge_property:
+        the edge date column.
+    tail_property, head_property:
+        endpoint date columns (either may be None to skip that side).
+    """
+
+    def __init__(self, edge_name, edge_property,
+                 tail_property=None, head_property=None):
+        self.edge_name = edge_name
+        self.edge_property = edge_property
+        self.tail_property = tail_property
+        self.head_property = head_property
+        self.name = f"date_ordering[{edge_name}.{edge_property}]"
+
+    def run(self, graph):
+        edge = graph.schema.edge_type(self.edge_name)
+        table = graph.edges(self.edge_name)
+        values = graph.edge_property(
+            self.edge_name, self.edge_property
+        ).values
+        bound = np.full(len(table), -np.inf)
+        if self.tail_property:
+            tail_dates = graph.node_property(
+                edge.tail_type, self.tail_property
+            ).values
+            bound = np.maximum(bound, tail_dates[table.tails])
+        if self.head_property:
+            head_dates = graph.node_property(
+                edge.head_type, self.head_property
+            ).values
+            bound = np.maximum(bound, head_dates[table.heads])
+        bad = int((values <= bound).sum())
+        return CheckResult(
+            self.name,
+            bad == 0,
+            f"{bad} edges violate the strict ordering",
+            metric=float(bad),
+        )
+
+
+class MarginalDistributionCheck(Check):
+    """Verify a property's value frequencies match a specification.
+
+    Compares the observed frequency vector against expected weights
+    with a total-variation tolerance.
+    """
+
+    def __init__(self, type_name, prop_name, values, weights,
+                 tolerance=0.05):
+        self.type_name = type_name
+        self.prop_name = prop_name
+        self.values = list(values)
+        weights = np.asarray(weights, dtype=np.float64)
+        self.weights = weights / weights.sum()
+        self.tolerance = tolerance
+        self.name = f"marginal[{type_name}.{prop_name}]"
+
+    def run(self, graph):
+        table = graph.node_property(self.type_name, self.prop_name)
+        observed = np.zeros(len(self.values))
+        position = {v: i for i, v in enumerate(self.values)}
+        unknown = 0
+        for value in table.values:
+            if value in position:
+                observed[position[value]] += 1
+            else:
+                unknown += 1
+        if unknown:
+            return CheckResult(
+                self.name, False,
+                f"{unknown} values outside the declared domain",
+            )
+        observed = observed / observed.sum()
+        tv = 0.5 * float(np.abs(observed - self.weights).sum())
+        return CheckResult(
+            self.name,
+            tv <= self.tolerance,
+            f"total variation {tv:.4f} (tolerance {self.tolerance})",
+            metric=tv,
+        )
+
+
+class JointDistributionCheck(Check):
+    """Verify the realised property-structure joint is close to the
+    requested one (KS over the sorted pair CDFs)."""
+
+    def __init__(self, edge_name, max_ks=0.5):
+        self.edge_name = edge_name
+        self.max_ks = max_ks
+        self.name = f"joint[{edge_name}]"
+
+    def run(self, graph):
+        from ..stats import JointDistribution, compare_joints
+
+        match = graph.match_results.get(self.edge_name)
+        if match is None:
+            return CheckResult(
+                self.name, True, "edge is uncorrelated (random match)"
+            )
+        requested = JointDistribution(match.target)
+        observed = graph.observed_joint(self.edge_name)
+        ks = compare_joints(requested, observed).ks
+        return CheckResult(
+            self.name,
+            ks <= self.max_ks,
+            f"KS {ks:.4f} (threshold {self.max_ks})",
+            metric=ks,
+        )
+
+
+class DegreeDistributionCheck(Check):
+    """Verify degree statistics of an edge type are in expected bands."""
+
+    def __init__(self, edge_name, min_mean=None, max_mean=None,
+                 max_degree=None):
+        self.edge_name = edge_name
+        self.min_mean = min_mean
+        self.max_mean = max_mean
+        self.max_degree = max_degree
+        self.name = f"degrees[{edge_name}]"
+
+    def run(self, graph):
+        table = graph.edges(self.edge_name)
+        degrees = (
+            table.out_degrees() if table.is_bipartite
+            else table.degrees()
+        )
+        mean = float(degrees.mean()) if degrees.size else 0.0
+        peak = int(degrees.max()) if degrees.size else 0
+        problems = []
+        if self.min_mean is not None and mean < self.min_mean:
+            problems.append(f"mean {mean:.2f} < {self.min_mean}")
+        if self.max_mean is not None and mean > self.max_mean:
+            problems.append(f"mean {mean:.2f} > {self.max_mean}")
+        if self.max_degree is not None and peak > self.max_degree:
+            problems.append(f"max {peak} > {self.max_degree}")
+        return CheckResult(
+            self.name,
+            not problems,
+            "; ".join(problems) or f"mean {mean:.2f}, max {peak}",
+            metric=mean,
+        )
+
+
+class UniquenessCheck(Check):
+    """Verify a property column holds unique values (surrogate keys)."""
+
+    def __init__(self, type_name, prop_name):
+        self.type_name = type_name
+        self.prop_name = prop_name
+        self.name = f"unique[{type_name}.{prop_name}]"
+
+    def run(self, graph):
+        values = graph.node_property(
+            self.type_name, self.prop_name
+        ).values
+        duplicates = len(values) - len(set(values))
+        return CheckResult(
+            self.name,
+            duplicates == 0,
+            f"{duplicates} duplicate values",
+            metric=float(duplicates),
+        )
+
+
+def validate(graph, checks):
+    """Run ``checks`` against ``graph`` and return the report."""
+    report = ValidationReport()
+    for check in checks:
+        report.results.append(check.run(graph))
+    return report

@@ -1,0 +1,77 @@
+"""Standard check sets derived automatically from a schema.
+
+``standard_checks(schema)`` inspects the declarations and produces the
+audit a benchmark designer would want by default:
+
+* a cardinality check per non-*..* edge type;
+* a date-ordering check per ``after_dependency`` edge property;
+* a marginal check per declared ``categorical`` property with weights;
+* a joint check per correlated edge type.
+"""
+
+from __future__ import annotations
+
+from .checks import (
+    CardinalityCheck,
+    DateOrderingCheck,
+    JointDistributionCheck,
+    MarginalDistributionCheck,
+)
+
+__all__ = ["standard_checks"]
+
+
+def standard_checks(schema, joint_max_ks=0.6, marginal_tolerance=0.05):
+    """Derive the default audit from schema declarations."""
+    from ..core.schema import Cardinality
+
+    checks = []
+
+    for edge in schema.edge_types.values():
+        if edge.cardinality is not Cardinality.MANY_TO_MANY:
+            checks.append(CardinalityCheck(edge.name))
+        if edge.correlation is not None \
+                and edge.correlation.head_property is None:
+            checks.append(
+                JointDistributionCheck(edge.name, max_ks=joint_max_ks)
+            )
+        for prop in edge.properties:
+            if prop.generator is None:
+                continue
+            if prop.generator.name != "after_dependency":
+                continue
+            tail_prop = None
+            head_prop = None
+            for dep in prop.depends_on:
+                if dep.startswith("tail."):
+                    tail_prop = dep[len("tail."):]
+                elif dep.startswith("head."):
+                    head_prop = dep[len("head."):]
+            if tail_prop or head_prop:
+                checks.append(
+                    DateOrderingCheck(
+                        edge.name,
+                        prop.name,
+                        tail_property=tail_prop,
+                        head_property=head_prop,
+                    )
+                )
+
+    for node in schema.node_types.values():
+        for prop in node.properties:
+            if prop.generator is None:
+                continue
+            if prop.generator.name != "categorical":
+                continue
+            params = prop.generator.params
+            if "values" in params and params.get("weights") is not None:
+                checks.append(
+                    MarginalDistributionCheck(
+                        node.name,
+                        prop.name,
+                        params["values"],
+                        params["weights"],
+                        tolerance=marginal_tolerance,
+                    )
+                )
+    return checks

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prng import RandomStream
+from repro.stats import TruncatedGeometric
+from repro.structure import LFR, RMat
+from repro.tables import EdgeTable, PropertyTable
+
+
+@pytest.fixture
+def stream():
+    """A fresh deterministic stream."""
+    return RandomStream(12345, "tests")
+
+
+@pytest.fixture(scope="session")
+def small_lfr():
+    """A small LFR graph with known-good community structure."""
+    generator = LFR(
+        seed=7,
+        avg_degree=12,
+        max_degree=30,
+        min_community=10,
+        max_community=40,
+        mu=0.1,
+    )
+    return generator.run_with_labels(1200)
+
+
+@pytest.fixture(scope="session")
+def small_rmat():
+    """A small R-MAT graph (scale 10)."""
+    return RMat(seed=3).run_scale(10)
+
+
+@pytest.fixture
+def triangle_table():
+    """The 3-cycle: simplest graph with a triangle."""
+    return EdgeTable("tri", [0, 1, 2], [1, 2, 0], num_tail_nodes=3)
+
+
+@pytest.fixture
+def path_table():
+    """A 4-node path 0-1-2-3."""
+    return EdgeTable("path", [0, 1, 2], [1, 2, 3], num_tail_nodes=4)
+
+
+@pytest.fixture
+def grouped_ptable():
+    """PT with 3 values of sizes 5/3/2 (ids 0..9)."""
+    values = np.array([0] * 5 + [1] * 3 + [2] * 2, dtype=np.int64)
+    return PropertyTable("test.value", values)
+
+
+@pytest.fixture
+def group_sizes_16():
+    """The paper's truncated-geometric sizes for k=16, n=1600."""
+    return TruncatedGeometric(0.4, 16).sizes(1600)

@@ -1,0 +1,151 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+DSL = """
+graph tiny {
+  node Person {
+    age: long = uniform_int(low=18, high=80)
+  }
+  edge knows: Person -- Person [*..*] {
+    structure = erdos_renyi_m(edges_per_node=3)
+  }
+  scale { Person = 50 }
+}
+"""
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "s.dsl", "--seed", "7", "--format", "jsonl"]
+        )
+        assert args.schema == "s.dsl"
+        assert args.seed == 7
+
+
+class TestGenerate:
+    def test_csv_output(self, tmp_path, capsys):
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        out = tmp_path / "out"
+        code = main(
+            ["generate", str(schema_path), "--out", str(out)]
+        )
+        assert code == 0
+        assert (out / "knows.csv").exists()
+        assert (out / "Person.age.csv").exists()
+        assert "generated graph 'tiny'" in capsys.readouterr().out
+
+    def test_scale_override(self, tmp_path, capsys):
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        main(
+            [
+                "generate", str(schema_path),
+                "--scale", "Person=20",
+                "--out", str(tmp_path / "o"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "'Person': 20" in out
+
+    def test_bad_scale_entry(self, tmp_path):
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        with pytest.raises(SystemExit, match="TYPE=COUNT"):
+            main(
+                ["generate", str(schema_path), "--scale", "Person"]
+            )
+
+    def test_edgelist_format(self, tmp_path):
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        out = tmp_path / "o"
+        main(
+            [
+                "generate", str(schema_path),
+                "--format", "edgelist", "--out", str(out),
+            ]
+        )
+        assert (out / "knows.edges").exists()
+
+    def test_jsonl_format(self, tmp_path):
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        out = tmp_path / "o"
+        main(
+            [
+                "generate", str(schema_path),
+                "--format", "jsonl", "--out", str(out),
+            ]
+        )
+        assert (out / "Person.jsonl").exists()
+
+
+class TestProtocol:
+    def test_prints_cdf_table(self, capsys):
+        code = main(
+            [
+                "protocol", "--kind", "lfr", "--size", "300",
+                "--k", "4", "--points", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LFR(0k,4)" in out or "LFR(" in out
+        assert "expected-cdf" in out
+
+    def test_matcher_choice(self, capsys):
+        main(
+            [
+                "protocol", "--kind", "lfr", "--size", "300",
+                "--k", "4", "--matcher", "random",
+            ]
+        )
+        assert "matcher=random" in capsys.readouterr().out
+
+
+class TestExample:
+    def test_runs(self, capsys, tmp_path):
+        code = main(
+            [
+                "example", "--persons", "200",
+                "--out", str(tmp_path / "ex"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "running example" in out
+        assert (tmp_path / "ex" / "knows.csv").exists()
+
+
+class TestAnalyze:
+    def test_prints_profile(self, tmp_path, capsys):
+        from repro.io import write_edgelist
+        from repro.structure import ErdosRenyiM
+
+        table = ErdosRenyiM(seed=1, m=300).run(100)
+        path = write_edgelist(table, tmp_path / "g.edges")
+        code = main(["analyze", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "num_edges: 300" in out
+        assert "average_clustering" in out
+
+    def test_no_clustering_flag(self, tmp_path, capsys):
+        from repro.io import write_edgelist
+        from repro.structure import ErdosRenyiM
+
+        table = ErdosRenyiM(seed=1, m=50).run(40)
+        path = write_edgelist(table, tmp_path / "g.edges")
+        main(["analyze", str(path), "--no-clustering"])
+        assert "average_clustering" not in capsys.readouterr().out

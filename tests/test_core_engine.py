@@ -1,0 +1,313 @@
+"""Integration tests for the generation engine (the Figure 2 pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Cardinality,
+    CorrelationSpec,
+    EdgeType,
+    GeneratorSpec,
+    GraphGenerator,
+    NodeType,
+    PropertyDef,
+    Schema,
+    SchemaError,
+)
+from repro.datasets import social_network_schema
+from repro.stats import homophily_joint
+
+
+@pytest.fixture(scope="module")
+def generated():
+    schema = social_network_schema(num_countries=10)
+    return GraphGenerator(schema, {"Person": 1500}, seed=42).generate()
+
+
+class TestRunningExample:
+    def test_counts(self, generated):
+        assert generated.num_nodes("Person") == 1500
+        assert generated.num_nodes("Message") == generated.num_edges(
+            "creates"
+        )
+
+    def test_every_message_has_one_creator(self, generated):
+        creates = generated.edges("creates")
+        counts = np.bincount(
+            creates.heads, minlength=generated.num_nodes("Message")
+        )
+        assert (counts == 1).all()
+
+    def test_knows_date_constraint(self, generated):
+        """The running example: knows.creationDate exceeds both
+        endpoints' creationDates."""
+        knows = generated.edges("knows")
+        person_dates = generated.node_property(
+            "Person", "creationDate"
+        ).values
+        knows_dates = generated.edge_property(
+            "knows", "creationDate"
+        ).values
+        endpoint_max = np.maximum(
+            person_dates[knows.tails], person_dates[knows.heads]
+        )
+        assert (knows_dates > endpoint_max).all()
+
+    def test_creates_date_constraint(self, generated):
+        creates = generated.edges("creates")
+        person_dates = generated.node_property(
+            "Person", "creationDate"
+        ).values
+        creates_dates = generated.edge_property(
+            "creates", "creationDate"
+        ).values
+        assert (creates_dates > person_dates[creates.tails]).all()
+
+    def test_name_correlates_with_country_and_sex(self, generated):
+        """P(name | country, sex): names must come from the right
+        conditional buckets."""
+        from repro.datasets import conditional_name_table
+
+        table = conditional_name_table()
+        countries = generated.node_property("Person", "country").values
+        sexes = generated.node_property("Person", "sex").values
+        names = generated.node_property("Person", "name").values
+        checked = 0
+        for i in range(500):
+            key = (countries[i], sexes[i])
+            if key in table:
+                assert names[i] in table[key][0]
+                checked += 1
+        assert checked > 300
+
+    def test_country_follows_population_skew(self, generated):
+        values, counts = generated.node_property(
+            "Person", "country"
+        ).categories()
+        freq = dict(zip(values, counts / counts.sum()))
+        # China and India dominate the embedded weights; Mexico is the
+        # smallest of the 10 retained countries.
+        assert freq.get("China", 0) > freq.get("Mexico", 1)
+
+    def test_country_homophily_instilled(self, generated):
+        from repro.graphstats import attribute_assortativity
+
+        codes, _ = generated.node_property("Person", "country").codes()
+        r = attribute_assortativity(generated.edges("knows"), codes)
+        assert r > 0.15
+
+    def test_match_diagnostics_exposed(self, generated):
+        match = generated.match_results["knows"]
+        assert match is not None
+        assert match.frobenius_error >= 0
+        assert generated.match_results["creates"] is None
+
+    def test_observed_joint(self, generated):
+        joint = generated.observed_joint("knows")
+        assert np.isclose(joint.matrix.sum(), 1.0)
+        # Homophily: diagonal above independence.
+        marginal = joint.marginal()
+        assert np.trace(joint.matrix) > (marginal ** 2).sum()
+
+    def test_records_views(self, generated):
+        records = list(generated.node_records("Person", limit=3))
+        assert len(records) == 3
+        assert set(records[0]) == {
+            "id", "country", "sex", "name", "interest", "creationDate"
+        }
+        edge_records = list(generated.edge_records("knows", limit=2))
+        assert set(edge_records[0]) == {
+            "id", "tail", "head", "creationDate"
+        }
+
+    def test_summary_and_repr(self, generated):
+        summary = generated.summary()
+        assert summary["nodes"]["Person"] == 1500
+        assert "Person=1500" in repr(generated)
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        schema = social_network_schema(num_countries=8)
+        a = GraphGenerator(schema, {"Person": 300}, seed=9).generate()
+        b = GraphGenerator(schema, {"Person": 300}, seed=9).generate()
+        for key in a.node_properties:
+            assert a.node_properties[key] == b.node_properties[key]
+        for key in a.edge_tables:
+            assert a.edge_tables[key] == b.edge_tables[key]
+        for key in a.edge_properties:
+            assert a.edge_properties[key] == b.edge_properties[key]
+
+    def test_different_seed_differs(self):
+        schema = social_network_schema(num_countries=8)
+        a = GraphGenerator(schema, {"Person": 300}, seed=1).generate()
+        b = GraphGenerator(schema, {"Person": 300}, seed=2).generate()
+        assert a.edges("knows") != b.edges("knows")
+
+
+class TestScaleAnchors:
+    def test_scale_by_edge_count(self):
+        schema = Schema(
+            node_types=[
+                NodeType(
+                    "Person",
+                    properties=[
+                        PropertyDef(
+                            "x",
+                            "long",
+                            GeneratorSpec(
+                                "uniform_int", {"low": 0, "high": 5}
+                            ),
+                        )
+                    ],
+                )
+            ],
+            edge_types=[
+                EdgeType(
+                    "knows",
+                    "Person",
+                    "Person",
+                    structure=GeneratorSpec(
+                        "erdos_renyi_m", {"edges_per_node": 4}
+                    ),
+                )
+            ],
+        )
+        graph = GraphGenerator(
+            schema, {"knows": 2000}, seed=3
+        ).generate()
+        # get_num_nodes(2000) with 4 edges/node -> 500 persons.
+        assert graph.num_nodes("Person") == 500
+        assert graph.num_edges("knows") == 2000
+
+    def test_unknown_scale_type_rejected(self):
+        schema = social_network_schema(num_countries=8)
+        with pytest.raises(SchemaError, match="unknown types"):
+            GraphGenerator(schema, {"Ghost": 10})
+
+
+class TestErrorPaths:
+    def test_property_without_generator(self):
+        schema = Schema(
+            node_types=[
+                NodeType("T", properties=[PropertyDef("a", "string")])
+            ],
+        )
+        with pytest.raises(SchemaError, match="no property generator"):
+            GraphGenerator(schema, {"T": 5}).generate()
+
+    def test_edge_without_structure(self):
+        schema = Schema(
+            node_types=[NodeType("T")],
+            edge_types=[EdgeType("e", "T", "T")],
+        )
+        with pytest.raises(SchemaError, match="no structure generator"):
+            GraphGenerator(schema, {"T": 5}).generate()
+
+
+class TestUncorrelatedAndBipartite:
+    def test_uncorrelated_monopartite_random_matching(self):
+        schema = Schema(
+            node_types=[NodeType("T")],
+            edge_types=[
+                EdgeType(
+                    "e",
+                    "T",
+                    "T",
+                    structure=GeneratorSpec(
+                        "erdos_renyi_m", {"edges_per_node": 3}
+                    ),
+                )
+            ],
+        )
+        graph = GraphGenerator(schema, {"T": 200}, seed=1).generate()
+        assert graph.num_edges("e") == 600
+        assert graph.match_results["e"] is None
+
+    def test_bipartite_correlated_edge(self):
+        """Two node types, correlated bipartite matching."""
+        from repro.stats import Zipf
+
+        person = NodeType(
+            "Person",
+            properties=[
+                PropertyDef(
+                    "group",
+                    "long",
+                    GeneratorSpec(
+                        "categorical",
+                        {"values": [0, 1], "weights": [0.5, 0.5]},
+                    ),
+                )
+            ],
+        )
+        item = NodeType(
+            "Item",
+            properties=[
+                PropertyDef(
+                    "kind",
+                    "long",
+                    GeneratorSpec(
+                        "categorical",
+                        {"values": [0, 1], "weights": [0.5, 0.5]},
+                    ),
+                )
+            ],
+        )
+        likes = EdgeType(
+            "likes",
+            "Person",
+            "Item",
+            structure=GeneratorSpec(
+                "bipartite_configuration",
+                {
+                    "tail_distribution": Zipf(1.2, 6),
+                    "head_distribution": Zipf(1.2, 6),
+                    "tail_offset": 1,
+                    "head_offset": 1,
+                    "head_nodes": 150,
+                },
+            ),
+            correlation=CorrelationSpec(
+                tail_property="group",
+                head_property="kind",
+                joint=np.array([[0.45, 0.05], [0.05, 0.45]]),
+            ),
+            directed=True,
+        )
+        schema = Schema(
+            node_types=[person, item],
+            edge_types=[likes],
+        )
+        graph = GraphGenerator(
+            schema, {"Person": 150, "Item": 150}, seed=2
+        ).generate()
+        match = graph.match_results["likes"]
+        assert match is not None
+        # Observed diagonal should exceed independence (0.5).
+        achieved = match.achieved / match.achieved.sum()
+        assert np.trace(achieved) > 0.5
+
+    def test_one_to_one_edge(self):
+        owner = NodeType("Owner")
+        account = NodeType("Account")
+        schema = Schema(
+            node_types=[owner, account],
+            edge_types=[
+                EdgeType(
+                    "owns",
+                    "Owner",
+                    "Account",
+                    cardinality=Cardinality.ONE_TO_ONE,
+                    structure=GeneratorSpec("one_to_one", {}),
+                    directed=True,
+                )
+            ],
+        )
+        graph = GraphGenerator(schema, {"Owner": 120}, seed=5).generate()
+        owns = graph.edges("owns")
+        assert graph.num_nodes("Account") == 120
+        assert np.unique(owns.tails).size == 120
+        assert np.unique(owns.heads).size == 120

@@ -1,0 +1,209 @@
+"""Tests for the schema model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Cardinality,
+    CorrelationSpec,
+    EdgeType,
+    GeneratorSpec,
+    NodeType,
+    PropertyDef,
+    Schema,
+    SchemaError,
+)
+
+
+def person():
+    return NodeType(
+        "Person",
+        properties=[
+            PropertyDef("country", "string"),
+            PropertyDef("sex", "string"),
+            PropertyDef(
+                "name", "string", depends_on=("country", "sex")
+            ),
+        ],
+    )
+
+
+class TestCardinality:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1..1", Cardinality.ONE_TO_ONE),
+            ("1..*", Cardinality.ONE_TO_MANY),
+            ("*..*", Cardinality.MANY_TO_MANY),
+            ("1->*", Cardinality.ONE_TO_MANY),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert Cardinality.parse(text) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(SchemaError, match="cardinality"):
+            Cardinality.parse("*..1")
+
+
+class TestPropertyDef:
+    def test_valid_dtypes(self):
+        for dtype in ("string", "long", "double", "date", "bool"):
+            PropertyDef("x", dtype)
+
+    def test_invalid_dtype(self):
+        with pytest.raises(SchemaError, match="dtype"):
+            PropertyDef("x", "varchar")
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            PropertyDef("", "string")
+
+
+class TestNodeType:
+    def test_duplicate_property_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate property"):
+            NodeType(
+                "T",
+                properties=[
+                    PropertyDef("a", "string"),
+                    PropertyDef("a", "long"),
+                ],
+            )
+
+    def test_property_named(self):
+        node = person()
+        assert node.property_named("sex").name == "sex"
+        with pytest.raises(SchemaError, match="no property"):
+            node.property_named("age")
+
+    def test_property_names_ordered(self):
+        assert person().property_names() == ["country", "sex", "name"]
+
+
+class TestGeneratorSpec:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            GeneratorSpec("")
+
+    def test_params_default(self):
+        assert GeneratorSpec("x").params == {}
+
+
+class TestSchema:
+    def test_missing_dependency_rejected(self):
+        with pytest.raises(SchemaError, match="unknown property"):
+            Schema(
+                node_types=[
+                    NodeType(
+                        "T",
+                        properties=[
+                            PropertyDef(
+                                "a", "string", depends_on=("ghost",)
+                            )
+                        ],
+                    )
+                ]
+            )
+
+    def test_dependency_cycle_rejected(self):
+        with pytest.raises(SchemaError, match="cycle"):
+            Schema(
+                node_types=[
+                    NodeType(
+                        "T",
+                        properties=[
+                            PropertyDef("a", "string", depends_on=("b",)),
+                            PropertyDef("b", "string", depends_on=("a",)),
+                        ],
+                    )
+                ]
+            )
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(SchemaError, match="cycle"):
+            Schema(
+                node_types=[
+                    NodeType(
+                        "T",
+                        properties=[
+                            PropertyDef("a", "string", depends_on=("a",))
+                        ],
+                    )
+                ]
+            )
+
+    def test_edge_endpoint_must_exist(self):
+        with pytest.raises(SchemaError, match="not declared"):
+            Schema(
+                node_types=[person()],
+                edge_types=[
+                    EdgeType("knows", "Person", "Ghost")
+                ],
+            )
+
+    def test_duplicate_type_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate node type"):
+            Schema(node_types=[person(), person()])
+
+    def test_node_edge_name_collision(self):
+        schema = Schema(node_types=[person()])
+        schema.add_edge_type(EdgeType("knows", "Person", "Person"))
+        with pytest.raises(SchemaError, match="already names"):
+            schema.add_node_type(NodeType("knows"))
+
+    def test_correlation_property_must_exist(self):
+        with pytest.raises(SchemaError, match="no property"):
+            Schema(
+                node_types=[person()],
+                edge_types=[
+                    EdgeType(
+                        "knows",
+                        "Person",
+                        "Person",
+                        correlation=CorrelationSpec(
+                            tail_property="ghost", joint=None
+                        ),
+                    )
+                ],
+            )
+
+    def test_bipartite_correlation_needs_both_sides(self):
+        message = NodeType(
+            "Message", properties=[PropertyDef("topic", "string")]
+        )
+        with pytest.raises(SchemaError, match="head_property"):
+            Schema(
+                node_types=[person(), message],
+                edge_types=[
+                    EdgeType(
+                        "likes",
+                        "Person",
+                        "Message",
+                        correlation=CorrelationSpec(
+                            tail_property="country", joint=None
+                        ),
+                    )
+                ],
+            )
+
+    def test_lookups(self):
+        schema = Schema(
+            node_types=[person()],
+            edge_types=[EdgeType("knows", "Person", "Person")],
+        )
+        assert schema.node_type("Person").name == "Person"
+        assert schema.edge_type("knows").is_monopartite
+        with pytest.raises(SchemaError):
+            schema.node_type("Nope")
+        with pytest.raises(SchemaError):
+            schema.edge_type("Nope")
+
+    def test_validate_chains(self):
+        schema = Schema(node_types=[person()])
+        assert schema.validate() is schema
+
+    def test_repr(self):
+        schema = Schema(node_types=[person()])
+        assert "Person" in repr(schema)

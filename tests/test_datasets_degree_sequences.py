@@ -1,0 +1,153 @@
+"""Tests for embedded datasets, schema factory options and degree
+sequence calibration helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    COUNTRIES,
+    INTERESTS,
+    NAMES_BY_REGION_SEX,
+    REGION_OF_COUNTRY,
+    TOPICS,
+    VOCABULARY,
+    conditional_name_table,
+    country_joint,
+    country_names,
+    country_weights,
+    social_network_schema,
+)
+from repro.structure import powerlaw_degree_sequence, solve_powerlaw_xmin
+from repro.structure.degree_sequences import expected_mean
+
+
+class TestDictionaries:
+    def test_countries_descending_population(self):
+        weights = country_weights()
+        # The head is sorted by population (the tail has ties).
+        assert weights[0] >= weights[1] >= weights[5]
+
+    def test_country_names_align_with_weights(self):
+        assert len(country_names()) == len(country_weights())
+        assert len(COUNTRIES) == len(country_names())
+
+    def test_every_mapped_country_exists(self):
+        names = set(country_names())
+        for country in REGION_OF_COUNTRY:
+            assert country in names, country
+
+    def test_name_table_covers_both_sexes(self):
+        table = conditional_name_table()
+        countries = {key[0] for key in table}
+        for country in countries:
+            assert (country, "female") in table
+            assert (country, "male") in table
+
+    def test_name_lists_nonempty_and_weighted(self):
+        table = conditional_name_table()
+        for _key, (names, weights) in table.items():
+            assert names
+            assert len(weights) == len(names)
+            assert all(w > 0 for w in weights)
+
+    def test_region_name_pools_disjoint_enough(self):
+        # Different regions should have mostly different names — the
+        # conditioning is observable.
+        anglo = set(NAMES_BY_REGION_SEX[("anglo", "female")])
+        east = set(NAMES_BY_REGION_SEX[("east_asia", "female")])
+        assert not (anglo & east)
+
+    def test_word_lists(self):
+        assert len(TOPICS) >= 10
+        assert len(INTERESTS) >= 10
+        assert len(VOCABULARY) >= 50
+        assert len(set(VOCABULARY)) == len(VOCABULARY)
+
+
+class TestCountryJoint:
+    def test_category_order_returned(self):
+        joint, names = country_joint(0.5)
+        assert joint.k == len(names)
+
+    def test_truncation(self):
+        joint, names = country_joint(
+            0.5, countries=country_names()[:5],
+            weights=country_weights()[:5],
+        )
+        assert joint.k == 5
+        assert names == country_names()[:5]
+
+    def test_affinity_controls_diagonal(self):
+        low, _ = country_joint(0.1)
+        high, _ = country_joint(0.9)
+        assert np.trace(high.matrix) > np.trace(low.matrix)
+
+
+class TestSchemaFactoryOptions:
+    def test_bter_structure_variant(self):
+        from repro.core import GraphGenerator
+
+        schema = social_network_schema(
+            num_countries=8, structure="bter", avg_know_degree=12
+        )
+        graph = GraphGenerator(
+            schema, {"Person": 600}, seed=4
+        ).generate()
+        assert graph.num_edges("knows") > 0
+
+    def test_degree_knobs_propagate(self):
+        schema = social_network_schema(
+            num_countries=8, avg_know_degree=8, max_know_degree=20
+        )
+        params = schema.edge_type("knows").structure.params
+        assert params["avg_degree"] == 8
+        assert params["max_degree"] == 20
+
+    def test_affinity_propagates(self):
+        weak = social_network_schema(num_countries=8, affinity=0.1)
+        strong = social_network_schema(num_countries=8, affinity=0.9)
+        weak_joint = weak.edge_type("knows").correlation.joint
+        strong_joint = strong.edge_type("knows").correlation.joint
+        assert np.trace(strong_joint.matrix) > np.trace(
+            weak_joint.matrix
+        )
+
+
+class TestDegreeSequenceCalibration:
+    def test_expected_mean_monotone_in_xmin(self):
+        means = [expected_mean(2.0, xmin, 50) for xmin in (1, 5, 10)]
+        assert means[0] < means[1] < means[2]
+
+    def test_solve_xmin_hits_target(self):
+        xmin = solve_powerlaw_xmin(2.0, 20.0, 50)
+        achieved = expected_mean(2.0, xmin, 50)
+        assert abs(achieved - 20.0) < 4.0
+
+    def test_solve_xmin_unreachable_target(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            solve_powerlaw_xmin(2.0, 100.0, 50)
+
+    def test_sequence_statistics(self, stream):
+        degrees = powerlaw_degree_sequence(
+            5000, 2.0, 20, 50, stream
+        )
+        assert degrees.size == 5000
+        assert int(degrees.sum()) % 2 == 0
+        assert degrees.max() <= 50
+        assert 15 <= degrees.mean() <= 25
+
+    def test_max_degree_clamped_to_n(self, stream):
+        degrees = powerlaw_degree_sequence(10, 2.0, 4, 50, stream)
+        assert degrees.max() <= 9
+
+    def test_explicit_min_degree(self, stream):
+        degrees = powerlaw_degree_sequence(
+            1000, 2.0, 20, 50, stream, min_degree=10
+        )
+        assert degrees.min() >= 10
+
+    def test_invalid_gamma(self, stream):
+        with pytest.raises(ValueError, match="gamma"):
+            powerlaw_degree_sequence(100, 1.0, 10, 20, stream)

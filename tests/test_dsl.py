@@ -1,0 +1,278 @@
+"""Tests for the schema DSL: tokenizer, parser, compiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Cardinality
+from repro.core.dsl import (
+    DslCompileError,
+    DslSyntaxError,
+    load_schema,
+    parse,
+    tokenize,
+)
+
+MINIMAL = """
+graph tiny {
+  node Person {
+    age: long = uniform_int(low=18, high=99)
+  }
+  edge knows: Person -- Person [*..*] {
+    structure = erdos_renyi_m(edges_per_node=4)
+  }
+  scale { Person = 100 }
+}
+"""
+
+
+class TestTokenizer:
+    def test_counts_and_kinds(self):
+        tokens = tokenize("node Person { }")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "NAME", "LBRACE", "RBRACE", "EOF"]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r'"a\nb\"c"')
+        assert tokens[0].value == 'a\nb"c'
+
+    def test_unterminated_string(self):
+        with pytest.raises(DslSyntaxError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_numbers(self):
+        tokens = tokenize("42 -7 3.5 1e3")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [42, -7, 3.5, 1000.0]
+
+    def test_number_versus_range(self):
+        tokens = tokenize("1..2")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["NUMBER", "RANGE", "NUMBER", "EOF"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("# comment\nnode // trailing\n")
+        assert [t.kind for t in tokens] == ["KEYWORD", "EOF"]
+
+    def test_booleans(self):
+        tokens = tokenize("true false")
+        assert tokens[0].value is True
+        assert tokens[1].value is False
+
+    def test_arrows(self):
+        tokens = tokenize("-- ->")
+        assert [t.kind for t in tokens[:-1]] == ["UNDIRECTED", "DIRECTED"]
+
+    def test_position_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(DslSyntaxError, match="unexpected character"):
+            tokenize("node $")
+
+
+class TestParser:
+    def test_minimal_graph(self):
+        ast = parse(MINIMAL)
+        assert ast.name == "tiny"
+        assert len(ast.node_types) == 1
+        assert len(ast.edge_types) == 1
+        assert ast.scale.entries == {"Person": 100}
+
+    def test_cardinalities(self):
+        for text, expected in [
+            ("1..1", "1..1"), ("1..*", "1..*"), ("*..*", "*..*")
+        ]:
+            source = MINIMAL.replace("[*..*]", f"[{text}]")
+            ast = parse(source)
+            assert ast.edge_types[0].cardinality == expected
+
+    def test_directed_edge(self):
+        source = MINIMAL.replace(
+            "knows: Person -- Person", "knows: Person -> Person"
+        )
+        assert parse(source).edge_types[0].directed
+
+    def test_depends_clause(self):
+        source = """
+        graph g {
+          node T {
+            a: string = categorical(values=["x"])
+            b: string = conditional(table=@t) depends (a)
+          }
+          scale { T = 1 }
+        }
+        """
+        ast = parse(source)
+        assert ast.node_types[0].properties[1].depends_on == ["a"]
+
+    def test_dotted_dependency(self):
+        source = """
+        graph g {
+          node T { a: long = uniform_int(low=0, high=2) }
+          edge e: T -- T [*..*] {
+            structure = erdos_renyi_m(m=3)
+            d: long = after_dependency(min_gap=1)
+                depends (tail.a, head.a)
+          }
+          scale { T = 5 }
+        }
+        """
+        ast = parse(source)
+        prop = ast.edge_types[0].properties[0]
+        assert prop.depends_on == ["tail.a", "head.a"]
+
+    def test_correlate_clause(self):
+        source = """
+        graph g {
+          node T { a: string = categorical(values=["x", "y"]) }
+          edge e: T -- T [*..*] {
+            structure = erdos_renyi_m(m=3)
+            correlate a joint @j values ["x", "y"]
+          }
+          scale { T = 4 }
+        }
+        """
+        ast = parse(source)
+        corr = ast.edge_types[0].correlation
+        assert corr.tail_property == "a"
+        assert corr.values is not None
+
+    def test_duplicate_structure_rejected(self):
+        source = MINIMAL.replace(
+            "structure = erdos_renyi_m(edges_per_node=4)",
+            "structure = erdos_renyi_m(m=1)\n"
+            "    structure = erdos_renyi_m(m=2)",
+        )
+        with pytest.raises(DslSyntaxError, match="duplicate structure"):
+            parse(source)
+
+    def test_missing_brace(self):
+        with pytest.raises(DslSyntaxError):
+            parse("graph g { node T {")
+
+    def test_error_carries_position(self):
+        try:
+            parse("graph g {\n  wat\n}")
+        except DslSyntaxError as error:
+            assert error.line == 2
+        else:
+            pytest.fail("expected DslSyntaxError")
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse(MINIMAL.replace("Person = 100", "Person = -5"))
+
+
+class TestCompiler:
+    def test_end_to_end(self):
+        schema, scale, name = load_schema(MINIMAL)
+        assert name == "tiny"
+        assert scale == {"Person": 100}
+        assert schema.edge_type("knows").cardinality \
+            is Cardinality.MANY_TO_MANY
+
+    def test_unknown_property_generator(self):
+        source = MINIMAL.replace("uniform_int", "not_a_generator")
+        with pytest.raises(DslCompileError, match="unknown property"):
+            load_schema(source)
+
+    def test_unknown_structure_generator(self):
+        source = MINIMAL.replace("erdos_renyi_m", "not_a_generator")
+        with pytest.raises(DslCompileError, match="unknown structure"):
+            load_schema(source)
+
+    def test_unresolved_reference(self):
+        source = MINIMAL.replace(
+            "uniform_int(low=18, high=99)",
+            "categorical(values=@ghost)",
+        )
+        with pytest.raises(DslCompileError, match="@ghost"):
+            load_schema(source)
+
+    def test_reference_resolution(self):
+        source = MINIMAL.replace(
+            "uniform_int(low=18, high=99)",
+            "categorical(values=@options)",
+        )
+        schema, _, _ = load_schema(
+            source, {"options": ["a", "b"]}
+        )
+        spec = schema.node_type("Person").property_named(
+            "age"
+        ).generator
+        assert spec.params["values"] == ["a", "b"]
+
+    def test_scale_entry_must_name_type(self):
+        source = MINIMAL.replace("Person = 100", "Ghost = 100")
+        with pytest.raises(DslCompileError, match="no declared type"):
+            load_schema(source)
+
+    def test_list_literals(self):
+        source = """
+        graph g {
+          node T {
+            c: string = categorical(values=["x", "y"],
+                                    weights=[0.9, 0.1])
+          }
+          scale { T = 10 }
+        }
+        """
+        schema, _, _ = load_schema(source)
+        spec = schema.node_type("T").property_named("c").generator
+        assert spec.params["weights"] == [0.9, 0.1]
+
+    def test_generated_graph_from_dsl(self):
+        """Full loop: DSL text -> schema -> generated graph."""
+        from repro.core import GraphGenerator
+
+        schema, scale, _ = load_schema(MINIMAL)
+        graph = GraphGenerator(schema, scale, seed=4).generate()
+        assert graph.num_nodes("Person") == 100
+        ages = graph.node_property("Person", "age").values
+        assert ages.min() >= 18
+        assert ages.max() < 99
+
+
+class TestBipartiteCorrelateDsl:
+    SOURCE = """
+    graph rec {
+      node User {
+        genre: string = categorical(values=["a", "b"],
+                                    weights=[0.5, 0.5])
+      }
+      node Item {
+        genre: string = categorical(values=["a", "b"],
+                                    weights=[0.5, 0.5])
+      }
+      edge likes: User -> Item [*..*] {
+        structure = bipartite_configuration(
+            tail_distribution=@deg, head_distribution=@deg,
+            tail_offset=1, head_offset=1, head_nodes=80)
+        correlate genre with genre joint @joint
+      }
+      scale { User = 120 Item = 80 }
+    }
+    """
+
+    def test_compile_and_generate(self):
+        import numpy as np
+
+        from repro.core import GraphGenerator
+        from repro.stats import Zipf
+
+        env = {
+            "deg": Zipf(1.2, 6),
+            "joint": np.array([[0.45, 0.05], [0.05, 0.45]]),
+        }
+        schema, scale, _ = load_schema(self.SOURCE, env)
+        corr = schema.edge_type("likes").correlation
+        assert corr.tail_property == "genre"
+        assert corr.head_property == "genre"
+        graph = GraphGenerator(schema, scale, seed=6).generate()
+        match = graph.match_results["likes"]
+        assert match is not None
+        achieved = match.achieved / match.achieved.sum()
+        assert np.trace(achieved) > 0.5

@@ -1,0 +1,181 @@
+"""Tests for multi-valued properties (§5) and the empirical SG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prng import RandomStream
+from repro.properties import MultiValueGenerator
+from repro.stats import (
+    empirical_multivalue_joint,
+    encode_value_sets,
+)
+from repro.structure import EmpiricalDegreeGenerator, create_generator
+from repro.tables import EdgeTable
+
+
+class TestMultiValueGenerator:
+    def test_sizes_in_bounds(self, stream):
+        generator = MultiValueGenerator(
+            values=list("abcdefgh"), min_size=2, max_size=4
+        )
+        out = generator.run_many(
+            np.arange(300, dtype=np.int64), stream
+        )
+        for value_set in out:
+            assert 2 <= len(value_set) <= 4
+
+    def test_values_distinct_within_instance(self, stream):
+        generator = MultiValueGenerator(
+            values=list("abcde"), min_size=3, max_size=5
+        )
+        out = generator.run_many(
+            np.arange(200, dtype=np.int64), stream
+        )
+        for value_set in out:
+            assert len(set(value_set)) == len(value_set)
+
+    def test_popularity_skew(self, stream):
+        generator = MultiValueGenerator(
+            values=list("abcdefghij"), min_size=1, max_size=2,
+            exponent=1.5,
+        )
+        out = generator.run_many(
+            np.arange(3000, dtype=np.int64), stream
+        )
+        first = sum(1 for s in out if "a" in s)
+        last = sum(1 for s in out if "j" in s)
+        assert first > 3 * last
+
+    def test_in_place_random_access(self, stream):
+        generator = MultiValueGenerator(
+            values=list("abcdef"), min_size=1, max_size=3
+        )
+        full = generator.run_many(
+            np.arange(100, dtype=np.int64), stream
+        )
+        single = generator.run_many(
+            np.array([42], dtype=np.int64), stream
+        )
+        assert single[0] == full[42]
+
+    def test_max_size_validated(self):
+        with pytest.raises(ValueError, match="universe"):
+            MultiValueGenerator(values=["a"], min_size=1, max_size=2)
+
+    def test_registered(self):
+        from repro.properties import create_property_generator
+
+        generator = create_property_generator(
+            "multi_value", values=["x", "y"], min_size=1, max_size=1
+        )
+        assert isinstance(generator, MultiValueGenerator)
+
+
+class TestEncodeValueSets:
+    def test_encoding_round_trip(self):
+        sets = [("b", "a"), ("c",), ()]
+        encoded, universe = encode_value_sets(sets)
+        assert universe == ["a", "b", "c"]
+        assert encoded[0] == (1, 0)
+        assert encoded[2] == ()
+
+    def test_explicit_universe(self):
+        encoded, universe = encode_value_sets(
+            [("x",)], universe=["x", "y"]
+        )
+        assert universe == ["x", "y"]
+        assert encoded == [(0,)]
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            encode_value_sets([("z",)], universe=["x"])
+
+
+class TestEmpiricalMultivalueJoint:
+    def test_unit_mass_per_edge(self):
+        sets = [(0,), (0, 1), (1,)]
+        joint = empirical_multivalue_joint([0, 1], [1, 2], sets, k=2)
+        assert np.isclose(joint.matrix.sum(), 1.0)
+
+    def test_homophilous_sets_show_diagonal(self):
+        # Nodes 0-4 tagged {0}, nodes 5-9 tagged {1}; edges intra-block.
+        sets = [(0,)] * 5 + [(1,)] * 5
+        tails = [0, 1, 2, 5, 6, 7]
+        heads = [1, 2, 3, 6, 7, 8]
+        joint = empirical_multivalue_joint(tails, heads, sets, k=2)
+        assert np.trace(joint.matrix) > 0.99
+
+    def test_cross_pairs_share_mass(self):
+        sets = [(0, 1), (0, 1)]
+        joint = empirical_multivalue_joint([0], [1], sets, k=2)
+        # 4 cross pairs, each 1/4 of the edge mass.
+        assert np.isclose(joint.matrix[0, 0], 0.25)
+        assert np.isclose(
+            joint.matrix[0, 1] + joint.matrix[1, 0], 0.5
+        )
+
+    def test_unlabelled_edges_skipped(self):
+        sets = [(), (0,), (0,)]
+        joint = empirical_multivalue_joint([0, 1], [1, 2], sets, k=1)
+        assert np.isclose(joint.matrix[0, 0], 1.0)
+
+    def test_no_labelled_edges_raises(self):
+        with pytest.raises(ValueError, match="no labelled edges"):
+            empirical_multivalue_joint([0], [1], [(), ()], k=1)
+
+    def test_infers_k(self):
+        sets = [(2,), (0,)]
+        joint = empirical_multivalue_joint([0], [1], sets)
+        assert joint.k == 3
+
+
+class TestEmpiricalDegreeGenerator:
+    def test_from_degree_sequence(self):
+        observed = np.array([1] * 50 + [10] * 50)
+        generator = EmpiricalDegreeGenerator(seed=1, degrees=observed)
+        table = generator.run(2000)
+        realised = table.degrees()
+        # Bimodal shape preserved (allowing erasure losses on the
+        # degree-10 mode).
+        low = (realised <= 2).mean()
+        high = (realised >= 7).mean()
+        assert low > 0.3
+        assert high > 0.3
+
+    def test_from_source_table(self, small_lfr):
+        generator = EmpiricalDegreeGenerator(
+            seed=2, source=small_lfr.table
+        )
+        table = generator.run(500)
+        original_mean = small_lfr.table.degrees().mean()
+        assert abs(table.degrees().mean() - original_mean) \
+            < 0.35 * original_mean
+
+    def test_from_edgelist_file(self, tmp_path):
+        from repro.io import write_edgelist
+        from repro.structure import ErdosRenyiM
+
+        source = ErdosRenyiM(seed=3, m=400).run(200)
+        path = write_edgelist(source, tmp_path / "g.edges")
+        generator = EmpiricalDegreeGenerator(seed=4, path=str(path))
+        table = generator.run(300)
+        assert table.num_edges > 0
+
+    def test_missing_source_raises(self):
+        with pytest.raises(ValueError, match="source"):
+            EmpiricalDegreeGenerator(seed=0).run(10)
+
+    def test_registered(self):
+        generator = create_generator(
+            "empirical_degrees", seed=1, degrees=[2, 2, 2, 2]
+        )
+        assert generator.run(100).num_edges > 0
+
+    def test_get_num_nodes(self):
+        generator = EmpiricalDegreeGenerator(
+            seed=1, degrees=np.full(100, 8)
+        )
+        n = generator.get_num_nodes(4000)
+        assert abs(n - 1000) <= 1

@@ -1,0 +1,308 @@
+"""Tests for the property generator (PG) library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prng import RandomStream
+from repro.properties import (
+    AfterDependencyGenerator,
+    BoundGenerator,
+    CategoricalGenerator,
+    CompositeKeyGenerator,
+    ConditionalGenerator,
+    DateRangeGenerator,
+    FormulaGenerator,
+    LookupGenerator,
+    NormalGenerator,
+    SequenceGenerator,
+    TemplateGenerator,
+    TextGenerator,
+    UniformFloatGenerator,
+    UniformIntGenerator,
+    UuidGenerator,
+    WeightedDictGenerator,
+    ZipfIntGenerator,
+    available_property_generators,
+    create_property_generator,
+)
+
+IDS = np.arange(2000, dtype=np.int64)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = set(available_property_generators())
+        assert {
+            "categorical", "conditional", "weighted_dict", "date_range",
+            "after_dependency", "formula", "lookup", "uuid",
+            "composite_key", "normal", "sequence", "uniform_float",
+            "uniform_int", "zipf_int", "template", "text",
+        } <= names
+
+    def test_create_by_name(self):
+        generator = create_property_generator(
+            "uniform_int", low=0, high=5
+        )
+        assert isinstance(generator, UniformIntGenerator)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            create_property_generator("nope")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(TypeError, match="unexpected parameter"):
+            CategoricalGenerator(bogus=1)
+
+
+class TestCategorical:
+    def test_values_and_weights(self, stream):
+        generator = CategoricalGenerator(
+            values=["a", "b"], weights=[0.9, 0.1]
+        )
+        out = generator.run_many(IDS, stream)
+        freq_a = (out == "a").mean()
+        assert 0.85 < freq_a < 0.95
+
+    def test_uniform_default(self, stream):
+        generator = CategoricalGenerator(values=[1, 2, 3, 4])
+        out = generator.run_many(IDS, stream)
+        assert set(np.unique(out)) == {1, 2, 3, 4}
+
+    def test_int_dtype(self):
+        generator = CategoricalGenerator(values=[1, 2])
+        assert generator.output_dtype() == np.int64
+
+    def test_misaligned_weights(self):
+        with pytest.raises(ValueError):
+            CategoricalGenerator(values=["a"], weights=[0.5, 0.5])
+
+    def test_in_place_random_access(self, stream):
+        """The PG contract: value i is independent of other calls."""
+        generator = CategoricalGenerator(values=["a", "b", "c"])
+        full = generator.run_many(IDS, stream)
+        single = generator.run_many(
+            np.array([137], dtype=np.int64), stream
+        )
+        assert single[0] == full[137]
+
+
+class TestConditional:
+    TABLE = {
+        ("de", "f"): (["Anna"], None),
+        ("de", "m"): (["Hans"], None),
+        ("fr", "f"): (["Marie"], None),
+        ("fr", "m"): (["Jean"], None),
+    }
+
+    def test_respects_conditions(self, stream):
+        generator = ConditionalGenerator(table=self.TABLE)
+        countries = np.array(["de", "fr", "de"], dtype=object)
+        sexes = np.array(["f", "m", "m"], dtype=object)
+        out = generator.run_many(
+            np.arange(3, dtype=np.int64), stream, countries, sexes
+        )
+        assert list(out) == ["Anna", "Jean", "Hans"]
+
+    def test_default_for_unknown_key(self, stream):
+        generator = ConditionalGenerator(
+            table=self.TABLE, default=(["X"], None)
+        )
+        out = generator.run_many(
+            np.array([0], dtype=np.int64), stream,
+            np.array(["??"], dtype=object),
+            np.array(["f"], dtype=object),
+        )
+        assert out[0] == "X"
+
+    def test_unknown_key_without_default_raises(self, stream):
+        generator = ConditionalGenerator(table=self.TABLE)
+        with pytest.raises(KeyError):
+            generator.run_many(
+                np.array([0], dtype=np.int64), stream,
+                np.array(["??"], dtype=object),
+                np.array(["f"], dtype=object),
+            )
+
+    def test_single_dependency_key_form(self, stream):
+        generator = ConditionalGenerator(
+            table={"x": (["only"], None)}
+        )
+        out = generator.run_many(
+            np.array([0], dtype=np.int64), stream,
+            np.array(["x"], dtype=object),
+        )
+        assert out[0] == "only"
+
+    def test_requires_dependency(self, stream):
+        generator = ConditionalGenerator(table=self.TABLE)
+        with pytest.raises(ValueError, match="dependency"):
+            generator.run_many(IDS[:1], stream)
+
+
+class TestWeightedDict:
+    def test_skew(self, stream):
+        generator = WeightedDictGenerator(
+            values=["top", "mid", "rare"], exponent=2.0
+        )
+        out = generator.run_many(IDS, stream)
+        counts = {v: (out == v).mean() for v in ("top", "rare")}
+        assert counts["top"] > 4 * counts["rare"]
+
+
+class TestNumeric:
+    def test_uniform_int_bounds(self, stream):
+        out = UniformIntGenerator(low=5, high=8).run_many(IDS, stream)
+        assert out.min() >= 5 and out.max() <= 7
+
+    def test_uniform_float_bounds(self, stream):
+        out = UniformFloatGenerator(low=-1.0, high=1.0).run_many(
+            IDS, stream
+        )
+        assert out.min() >= -1.0 and out.max() < 1.0
+
+    def test_normal_moments(self, stream):
+        out = NormalGenerator(mean=10, std=2).run_many(IDS, stream)
+        assert abs(out.mean() - 10) < 0.3
+
+    def test_normal_clipping(self, stream):
+        out = NormalGenerator(
+            mean=0, std=1, clip_low=-1, clip_high=1
+        ).run_many(IDS, stream)
+        assert out.min() >= -1 and out.max() <= 1
+
+    def test_zipf_heavy_head(self, stream):
+        out = ZipfIntGenerator(exponent=1.5, k=50).run_many(IDS, stream)
+        assert (out == 1).mean() > (out == 10).mean()
+        assert out.min() >= 1 and out.max() <= 50
+
+    def test_sequence(self, stream):
+        out = SequenceGenerator(start=100, step=3).run_many(
+            np.arange(4, dtype=np.int64), stream
+        )
+        assert np.array_equal(out, [100, 103, 106, 109])
+
+
+class TestDates:
+    def test_date_range_bounds(self, stream):
+        out = DateRangeGenerator(start=1000, end=2000).run_many(
+            IDS, stream
+        )
+        assert out.min() >= 1000 and out.max() < 2000
+
+    def test_day_granularity(self, stream):
+        out = DateRangeGenerator(
+            start=0, end=10 * 86400, granularity="day"
+        ).run_many(IDS, stream)
+        assert (out % 86400 == 0).all()
+
+    def test_after_dependency_strictly_greater(self, stream):
+        base_a = np.array([100, 500, 900], dtype=np.int64)
+        base_b = np.array([200, 400, 800], dtype=np.int64)
+        out = AfterDependencyGenerator(
+            min_gap=1, max_gap=50
+        ).run_many(np.arange(3, dtype=np.int64), stream, base_a, base_b)
+        assert (out > np.maximum(base_a, base_b)).all()
+        assert (out <= np.maximum(base_a, base_b) + 50).all()
+
+    def test_after_dependency_needs_deps(self, stream):
+        with pytest.raises(ValueError):
+            AfterDependencyGenerator().run_many(IDS[:1], stream)
+
+    def test_bad_gaps(self):
+        with pytest.raises(ValueError):
+            AfterDependencyGenerator(min_gap=10, max_gap=5)
+
+
+class TestTextAndIds:
+    def test_text_word_counts(self, stream):
+        generator = TextGenerator(
+            vocabulary=["alpha", "beta"], min_words=2, max_words=4
+        )
+        out = generator.run_many(
+            np.arange(50, dtype=np.int64), stream
+        )
+        for sentence in out:
+            words = sentence.split()
+            assert 2 <= len(words) <= 4
+            assert set(words) <= {"alpha", "beta"}
+
+    def test_template(self, stream):
+        generator = TemplateGenerator(template="{0}@{id}")
+        out = generator.run_many(
+            np.array([7], dtype=np.int64), stream,
+            np.array(["bob"], dtype=object),
+        )
+        assert out[0] == "bob@7"
+
+    def test_uuid_unique_and_stable(self, stream):
+        generator = UuidGenerator()
+        out = generator.run_many(IDS[:500], stream)
+        assert len(set(out)) == 500
+        again = generator.run_many(IDS[:500], stream)
+        assert list(out) == list(again)
+
+    def test_uuid_time_ordered(self, stream):
+        generator = UuidGenerator(time_ordered=True)
+        out = generator.run_many(np.arange(10, dtype=np.int64), stream)
+        assert list(out) == sorted(out)
+
+    def test_composite_key(self, stream):
+        out = CompositeKeyGenerator(prefix="user").run_many(
+            np.array([3], dtype=np.int64), stream
+        )
+        assert out[0] == "user-3"
+
+
+class TestDerived:
+    def test_formula_scalar(self, stream):
+        generator = FormulaGenerator(
+            function=lambda a, b: a + b, dtype="int64"
+        )
+        out = generator.run_many(
+            np.arange(3, dtype=np.int64), stream,
+            np.array([1, 2, 3]), np.array([10, 20, 30]),
+        )
+        assert np.array_equal(out, [11, 22, 33])
+
+    def test_formula_vectorized(self, stream):
+        generator = FormulaGenerator(
+            function=lambda a: a * 2, vectorized=True
+        )
+        out = generator.run_many(
+            np.arange(3, dtype=np.int64), stream, np.array([1, 2, 3])
+        )
+        assert np.array_equal(out, [2, 4, 6])
+
+    def test_lookup(self, stream):
+        generator = LookupGenerator(mapping={"a": 1, "b": 2})
+        out = generator.run_many(
+            np.arange(2, dtype=np.int64), stream,
+            np.array(["b", "a"], dtype=object),
+        )
+        assert list(out) == [2, 1]
+
+    def test_lookup_default(self, stream):
+        generator = LookupGenerator(mapping={"a": 1}, default=0)
+        out = generator.run_many(
+            np.array([0], dtype=np.int64), stream,
+            np.array(["zz"], dtype=object),
+        )
+        assert out[0] == 0
+
+    def test_lookup_missing_raises(self, stream):
+        generator = LookupGenerator(mapping={"a": 1})
+        with pytest.raises(KeyError):
+            generator.run_many(
+                np.array([0], dtype=np.int64), stream,
+                np.array(["zz"], dtype=object),
+            )
+
+
+class TestBoundGenerator:
+    def test_scalar_run_matches_vectorised(self, stream):
+        generator = CategoricalGenerator(values=["a", "b", "c"])
+        bound = BoundGenerator(generator, stream)
+        full = generator.run_many(IDS[:100], stream)
+        assert bound.run(42, stream(42)) == full[42]

@@ -1,0 +1,377 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These exercise the load-bearing contracts:
+
+* skip-seed PRNG — random access equals batch access, values in range;
+* distributions — pmf validity and exact integer splitting for any
+  parameters;
+* joint distributions — symmetry/normalisation closure;
+* edge tables — transformation invariants (dedup idempotent, relabel
+  preserves counts);
+* stub pairing — realised degrees never exceed prescriptions;
+* SBM-Part — capacities are hard constraints for arbitrary targets;
+* DSL tokenizer — never crashes with a non-DslError on arbitrary input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl.errors import DslError
+from repro.core.matching import sbm_part_assign
+from repro.prng import RandomStream, splitmix64
+from repro.stats import (
+    Categorical,
+    Geometric,
+    JointDistribution,
+    TruncatedGeometric,
+    Zipf,
+    empirical_joint,
+)
+from repro.structure import pair_stubs
+from repro.tables import EdgeTable
+
+common_settings = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPrngProperties:
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=2**64 - 1),
+        index=st.integers(min_value=0, max_value=2**62),
+    )
+    def test_random_access_consistency(self, seed, index):
+        one = int(splitmix64(seed, index))
+        batch = splitmix64(seed, np.array([index], dtype=np.uint64))
+        assert one == int(batch[0])
+
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=2**63),
+        n=st.integers(min_value=1, max_value=300),
+    )
+    def test_uniform_in_unit_interval(self, seed, n):
+        u = RandomStream(seed).uniform(np.arange(n))
+        assert (u >= 0).all() and (u < 1).all()
+
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=2**63),
+        n=st.integers(min_value=1, max_value=200),
+    )
+    def test_permutation_property(self, seed, n):
+        perm = RandomStream(seed).permutation(n)
+        assert np.array_equal(np.sort(perm), np.arange(n))
+
+
+class TestDistributionProperties:
+    @common_settings
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=100.0),
+            min_size=1,
+            max_size=20,
+        ),
+        n=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_sizes_always_sum_exactly(self, weights, n):
+        sizes = Categorical(weights).sizes(n)
+        assert int(sizes.sum()) == n
+        assert (sizes >= 0).all()
+
+    @common_settings
+    @given(
+        p=st.floats(min_value=0.01, max_value=0.99),
+        k=st.integers(min_value=1, max_value=64),
+    )
+    def test_truncated_geometric_valid(self, p, k):
+        pmf = TruncatedGeometric(p, k).pmf()
+        assert np.isclose(pmf.sum(), 1.0)
+        assert (pmf >= 1 / (2 * k * k)).all()  # floor keeps mass positive
+
+    @common_settings
+    @given(
+        s=st.floats(min_value=0.1, max_value=4.0),
+        k=st.integers(min_value=1, max_value=100),
+    )
+    def test_zipf_monotone(self, s, k):
+        pmf = Zipf(s, k).pmf()
+        assert (np.diff(pmf) <= 1e-15).all()
+
+    @common_settings
+    @given(
+        p=st.floats(min_value=0.05, max_value=0.95),
+        k=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_sampling_stays_in_support(self, p, k, seed):
+        dist = Geometric(p, k)
+        draws = dist.sample(RandomStream(seed), np.arange(500))
+        assert draws.min() >= 0
+        assert draws.max() < k
+
+
+class TestJointProperties:
+    @common_settings
+    @given(
+        data=st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0),
+                min_size=3,
+                max_size=3,
+            ),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_construction_closure(self, data):
+        matrix = np.asarray(data)
+        if matrix.sum() <= 0:
+            return
+        joint = JointDistribution(matrix)
+        assert np.allclose(joint.matrix, joint.matrix.T)
+        assert np.isclose(joint.matrix.sum(), 1.0)
+        _pairs, pmf = joint.pair_pmf()
+        assert np.isclose(pmf.sum(), 1.0)
+
+    @common_settings
+    @given(
+        n=st.integers(min_value=2, max_value=50),
+        m=st.integers(min_value=1, max_value=100),
+        k=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_empirical_joint_normalised(self, n, m, k, seed):
+        rng = np.random.default_rng(seed)
+        tails = rng.integers(0, n, m)
+        heads = rng.integers(0, n, m)
+        labels = rng.integers(0, k, n)
+        joint = empirical_joint(tails, heads, labels, k=k)
+        assert np.isclose(joint.matrix.sum(), 1.0)
+
+
+class TestEdgeTableProperties:
+    @st.composite
+    @staticmethod
+    def edge_arrays(draw):
+        n = draw(st.integers(min_value=1, max_value=40))
+        m = draw(st.integers(min_value=0, max_value=120))
+        seed = draw(st.integers(min_value=0, max_value=10_000))
+        rng = np.random.default_rng(seed)
+        return (
+            n,
+            rng.integers(0, n, m).astype(np.int64),
+            rng.integers(0, n, m).astype(np.int64),
+        )
+
+    @common_settings
+    @given(data=edge_arrays())
+    def test_dedup_idempotent(self, data):
+        n, tails, heads = data
+        table = EdgeTable("e", tails, heads, num_tail_nodes=n)
+        once = table.deduplicated()
+        twice = once.deduplicated()
+        assert once == twice
+
+    @common_settings
+    @given(data=edge_arrays())
+    def test_dedup_is_simple(self, data):
+        n, tails, heads = data
+        simple = EdgeTable(
+            "e", tails, heads, num_tail_nodes=n
+        ).deduplicated()
+        assert (simple.tails != simple.heads).all()
+        keys = (np.minimum(simple.tails, simple.heads) * n
+                + np.maximum(simple.tails, simple.heads))
+        assert np.unique(keys).size == len(simple)
+
+    @common_settings
+    @given(data=edge_arrays(), perm_seed=st.integers(0, 1000))
+    def test_relabel_by_permutation_preserves_structure(
+        self, data, perm_seed
+    ):
+        n, tails, heads = data
+        table = EdgeTable("e", tails, heads, num_tail_nodes=n)
+        perm = RandomStream(perm_seed).permutation(n)
+        relabeled = table.relabeled(perm)
+        assert relabeled.num_edges == table.num_edges
+        assert np.array_equal(
+            np.sort(relabeled.degrees()), np.sort(table.degrees())
+        )
+
+
+class TestPairStubsProperties:
+    @common_settings
+    @given(
+        degrees=st.lists(
+            st.integers(min_value=0, max_value=8),
+            min_size=2,
+            max_size=60,
+        ),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_realised_degrees_bounded(self, degrees, seed):
+        degrees = np.asarray(degrees, dtype=np.int64)
+        if int(degrees.sum()) % 2:
+            degrees[int(np.argmax(degrees))] += 1
+        pairs = pair_stubs(degrees, RandomStream(seed), simplify=True)
+        if pairs.size:
+            realised = np.bincount(
+                pairs.ravel(), minlength=degrees.size
+            )
+            assert (realised <= degrees.size - 1).all()
+            # Simplification only removes edges.
+            assert realised.sum() <= degrees.sum()
+
+
+class TestSbmPartProperties:
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        k=st.integers(min_value=1, max_value=6),
+        target_scale=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_capacities_are_hard_constraints(
+        self, seed, k, target_scale
+    ):
+        rng = np.random.default_rng(seed)
+        n = 60
+        m = 150
+        tails = rng.integers(0, n, m).astype(np.int64)
+        heads = rng.integers(0, n, m).astype(np.int64)
+        table = EdgeTable(
+            "e", tails, heads, num_tail_nodes=n
+        ).deduplicated()
+        sizes = np.zeros(k, dtype=np.int64)
+        for i in range(n):
+            sizes[rng.integers(0, k)] += 1
+        target = rng.random((k, k)) * target_scale
+        target = (target + target.T) / 2
+        labels = sbm_part_assign(table, sizes, target)
+        assert np.array_equal(
+            np.bincount(labels, minlength=k), sizes
+        )
+
+
+class TestDslRobustness:
+    @common_settings
+    @given(text=st.text(max_size=200))
+    def test_tokenizer_total(self, text):
+        """Arbitrary input either tokenizes or raises DslError —
+        never an unexpected exception type."""
+        from repro.core.dsl import tokenize
+
+        try:
+            tokens = tokenize(text)
+        except DslError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @common_settings
+    @given(text=st.text(max_size=200))
+    def test_parser_total(self, text):
+        from repro.core.dsl import parse
+
+        try:
+            parse(text)
+        except DslError:
+            pass
+
+
+class TestEngineDeterminismProperty:
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        persons=st.integers(min_value=60, max_value=120),
+    )
+    def test_generation_is_seed_deterministic(self, seed, persons):
+        """Two engine runs with identical inputs are table-identical."""
+        from repro.core import GraphGenerator
+        from repro.datasets import social_network_schema
+
+        schema = social_network_schema(num_countries=6)
+        a = GraphGenerator(
+            schema, {"Person": persons}, seed=seed
+        ).generate()
+        b = GraphGenerator(
+            schema, {"Person": persons}, seed=seed
+        ).generate()
+        assert a.edges("knows") == b.edges("knows")
+        assert np.array_equal(
+            a.node_property("Person", "country").values,
+            b.node_property("Person", "country").values,
+        )
+
+
+class TestCsvRoundTripProperty:
+    @common_settings
+    @given(
+        values=st.lists(
+            st.integers(min_value=-10**12, max_value=10**12),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_int_property_round_trip(self, values, tmp_path_factory):
+        from repro.io import read_property_table, write_property_table
+        from repro.tables import PropertyTable
+
+        directory = tmp_path_factory.mktemp("csv")
+        table = PropertyTable("t", np.asarray(values, dtype=np.int64))
+        path = write_property_table(table, directory / "t.csv")
+        back = read_property_table(path, name="t")
+        assert np.array_equal(back.values, table.values)
+
+    @common_settings
+    @given(
+        texts=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_categories=("Cs", "Cc")
+                ),
+                min_size=1,
+                max_size=20,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_string_property_round_trip(self, texts, tmp_path_factory):
+        from repro.io import read_property_table, write_property_table
+        from repro.tables import PropertyTable
+
+        directory = tmp_path_factory.mktemp("csv")
+        table = PropertyTable("t", np.asarray(texts, dtype=object))
+        path = write_property_table(table, directory / "t.csv")
+        back = read_property_table(path, name="t", dtype="object")
+        assert list(back.values) == [str(t) for t in texts]
+
+
+class TestMixingMatrixProperty:
+    @common_settings
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        m=st.integers(min_value=1, max_value=100),
+        k=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    def test_total_mass_equals_edge_count(self, n, m, k, seed):
+        """diag + off-diag/2 must equal m for any labelling."""
+        from repro.partitioning import mixing_matrix
+
+        rng = np.random.default_rng(seed)
+        tails = rng.integers(0, n, m).astype(np.int64)
+        heads = rng.integers(0, n, m).astype(np.int64)
+        table = EdgeTable("e", tails, heads, num_tail_nodes=n)
+        labels = rng.integers(0, k, n).astype(np.int64)
+        w = mixing_matrix(table, labels, k=k)
+        diag = float(np.trace(w))
+        off = float((w.sum() - diag) / 2)
+        assert diag + off == pytest.approx(table.num_edges)

@@ -1,0 +1,73 @@
+"""Tests for the report generator and the report/validate CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import generate_report, render_markdown_table
+
+
+class TestRenderMarkdownTable:
+    def test_basic(self):
+        text = render_markdown_table(
+            [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        )
+        lines = text.strip().split("\n")
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | x |"
+
+    def test_empty(self):
+        assert "no rows" in render_markdown_table([])
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report_text(self, tmp_path_factory):
+        # Quick variant only (figure 3 + timing) to keep tests fast.
+        return generate_report(
+            seed=0, include_figure4=False, include_ablation=False
+        )
+
+    def test_contains_sections(self, report_text):
+        assert "# Reproduction report" in report_text
+        assert "## Figure 3" in report_text
+        assert "## Timing (P1)" in report_text
+        assert "## Figure 4" not in report_text
+
+    def test_contains_profile(self, report_text):
+        assert "Scale profile" in report_text
+
+    def test_contains_all_configs(self, report_text):
+        from repro.experiments import lfr_sizes, rmat_scales
+
+        for size in lfr_sizes():
+            assert f"| {size} |" in report_text
+        assert "RMAT(" in report_text
+        assert f"rmat-{rmat_scales()[0]}" in report_text
+
+    def test_paper_comparison_row(self, report_text):
+        assert "paper reported" in report_text
+        assert "1100" in report_text
+
+
+class TestCliReport:
+    def test_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        code = main(
+            ["report", "--out", str(out), "--quick"]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "# Reproduction report" in out.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestCliValidate:
+    def test_passes_on_default(self, capsys):
+        code = main(["validate", "--persons", "800"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+        assert "FAIL" not in out

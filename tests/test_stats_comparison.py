@@ -1,0 +1,122 @@
+"""Tests for the CDF comparison metrics of Figures 3 and 4."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    JointDistribution,
+    compare_joints,
+    frobenius_distance,
+    jensen_shannon,
+    ks_distance,
+    l1_distance,
+    total_variation,
+)
+
+
+class TestScalarMetrics:
+    def test_ks_identical_is_zero(self):
+        cdf = np.array([0.2, 0.5, 1.0])
+        assert ks_distance(cdf, cdf) == 0.0
+
+    def test_ks_known_value(self):
+        assert np.isclose(
+            ks_distance([0.5, 1.0], [0.2, 1.0]), 0.3
+        )
+
+    def test_ks_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ks_distance([0.5], [0.5, 1.0])
+
+    def test_ks_empty(self):
+        assert ks_distance([], []) == 0.0
+
+    def test_l1_and_tv_relationship(self):
+        a = np.array([0.5, 0.5])
+        b = np.array([0.8, 0.2])
+        assert np.isclose(l1_distance(a, b), 0.6)
+        assert np.isclose(total_variation(a, b), 0.3)
+
+    def test_frobenius(self):
+        a = np.zeros((2, 2))
+        b = np.array([[3.0, 0.0], [0.0, 4.0]])
+        assert np.isclose(frobenius_distance(a, b), 5.0)
+
+    def test_jensen_shannon_bounds(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        js = jensen_shannon(a, b)
+        assert 0.0 < js <= np.log(2) + 1e-12
+
+    def test_jensen_shannon_identical(self):
+        p = np.array([0.3, 0.7])
+        assert jensen_shannon(p, p) == 0.0
+
+    def test_jensen_shannon_symmetric(self):
+        a = np.array([0.9, 0.1])
+        b = np.array([0.4, 0.6])
+        assert np.isclose(jensen_shannon(a, b), jensen_shannon(b, a))
+
+
+class TestCompareJoints:
+    def _joints(self):
+        expected = JointDistribution([[0.6, 0.1], [0.1, 0.2]])
+        observed = JointDistribution([[0.5, 0.15], [0.15, 0.2]])
+        return expected, observed
+
+    def test_sorted_by_expected(self):
+        expected, observed = self._joints()
+        comparison = compare_joints(expected, observed)
+        assert (np.diff(comparison.expected_pmf) <= 1e-12).all()
+
+    def test_cdfs_end_at_one(self):
+        expected, observed = self._joints()
+        comparison = compare_joints(expected, observed)
+        assert np.isclose(comparison.expected_cdf[-1], 1.0)
+        assert np.isclose(comparison.observed_cdf[-1], 1.0)
+
+    def test_identical_joints_zero_metrics(self):
+        expected, _ = self._joints()
+        comparison = compare_joints(expected, expected)
+        assert comparison.ks == 0.0
+        assert comparison.l1 == 0.0
+        assert comparison.js == 0.0
+
+    def test_metrics_positive_when_different(self):
+        expected, observed = self._joints()
+        comparison = compare_joints(expected, observed)
+        assert comparison.ks > 0.0
+        assert comparison.l1 > 0.0
+        assert comparison.tv == comparison.l1 / 2
+
+    def test_k_mismatch_raises(self):
+        expected, _ = self._joints()
+        other = JointDistribution(np.ones((3, 3)))
+        with pytest.raises(ValueError, match="different k"):
+            compare_joints(expected, other)
+
+    def test_pair_count(self):
+        expected = JointDistribution(np.ones((4, 4)))
+        comparison = compare_joints(expected, expected)
+        assert len(comparison.pairs) == 10  # 4 * 5 / 2
+
+    def test_series_subsampling(self):
+        expected = JointDistribution(np.ones((8, 8)))
+        comparison = compare_joints(expected, expected)
+        idx, exp_series, obs_series = comparison.series(5)
+        assert idx[-1] == len(comparison.expected_cdf) - 1
+        assert len(exp_series) == len(obs_series) == len(idx)
+        assert len(idx) <= 6
+
+    def test_series_no_subsampling(self):
+        expected = JointDistribution(np.ones((3, 3)))
+        comparison = compare_joints(expected, expected)
+        idx, _, _ = comparison.series()
+        assert len(idx) == 6
+
+    def test_summary_keys(self):
+        expected, observed = self._joints()
+        summary = compare_joints(expected, observed).summary()
+        assert set(summary) == {"ks", "l1", "tv", "js"}

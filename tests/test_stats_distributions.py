@@ -1,0 +1,202 @@
+"""Tests for the discrete distribution family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    Categorical,
+    Constant,
+    Empirical,
+    Geometric,
+    Poisson,
+    PowerLaw,
+    TruncatedGeometric,
+    Uniform,
+    Zipf,
+)
+
+
+class TestCategorical:
+    def test_normalises(self):
+        dist = Categorical([2.0, 6.0])
+        assert np.allclose(dist.pmf(), [0.25, 0.75])
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            Categorical([])
+        with pytest.raises(ValueError):
+            Categorical([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            Categorical([0.0, 0.0])
+
+    def test_sampling_matches_pmf(self, stream):
+        dist = Categorical([0.5, 0.3, 0.2])
+        draws = dist.sample(stream, np.arange(60_000))
+        freq = np.bincount(draws, minlength=3) / 60_000
+        assert np.allclose(freq, dist.pmf(), atol=0.01)
+
+    def test_k(self):
+        assert Categorical([1, 1, 1, 1]).k == 4
+
+
+class TestUniform:
+    def test_pmf(self):
+        assert np.allclose(Uniform(4).pmf(), [0.25] * 4)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Uniform(0)
+
+
+class TestGeometric:
+    def test_ratio(self):
+        pmf = Geometric(0.5, 10).pmf()
+        ratios = pmf[1:] / pmf[:-1]
+        assert np.allclose(ratios, 0.5)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            Geometric(0.0, 5)
+        with pytest.raises(ValueError):
+            Geometric(1.0, 5)
+
+
+class TestTruncatedGeometric:
+    """The paper's evaluation group-size distribution."""
+
+    def test_floor_at_uniform_share(self):
+        dist = TruncatedGeometric(0.4, 16)
+        pmf = dist.pmf()
+        # Tail categories all equal the floored uniform share.
+        geo = 0.4 * 0.6 ** np.arange(16)
+        floored = np.maximum(geo, 1 / 16)
+        assert np.allclose(pmf, floored / floored.sum())
+
+    def test_head_dominates(self):
+        pmf = TruncatedGeometric(0.4, 16).pmf()
+        assert pmf[0] > pmf[-1]
+        assert pmf[0] > 1 / 16
+
+    def test_sizes_sum_exactly(self):
+        for n in (10, 999, 12_345):
+            sizes = TruncatedGeometric(0.4, 16).sizes(n)
+            assert int(sizes.sum()) == n
+            assert (sizes >= 0).all()
+
+    def test_paper_formula(self):
+        # size_i = n * max(geo(0.4, i), 1/k) / normaliser
+        n, k = 10_000, 8
+        sizes = TruncatedGeometric(0.4, k).sizes(n)
+        geo = 0.4 * 0.6 ** np.arange(k)
+        weights = np.maximum(geo, 1 / k)
+        expected = n * weights / weights.sum()
+        assert np.abs(sizes - expected).max() <= 1.0
+
+
+class TestZipf:
+    def test_monotone_decreasing(self):
+        pmf = Zipf(1.0, 20).pmf()
+        assert (np.diff(pmf) < 0).all()
+
+    def test_exponent_two(self):
+        pmf = Zipf(2.0, 3).pmf()
+        raw = np.array([1.0, 0.25, 1 / 9])
+        assert np.allclose(pmf, raw / raw.sum())
+
+
+class TestPowerLaw:
+    def test_support_values(self):
+        dist = PowerLaw(2.0, 5, 9)
+        assert np.array_equal(dist.values(), [5, 6, 7, 8, 9])
+
+    def test_sample_values_in_range(self, stream):
+        dist = PowerLaw(2.0, 3, 12)
+        values = dist.sample_values(stream, np.arange(5000))
+        assert values.min() >= 3
+        assert values.max() <= 12
+
+    def test_mean_value_between_bounds(self):
+        dist = PowerLaw(2.0, 5, 50)
+        assert 5 < dist.mean_value() < 50
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            PowerLaw(2.0, 0, 5)
+        with pytest.raises(ValueError):
+            PowerLaw(2.0, 6, 5)
+
+
+class TestPoisson:
+    def test_mode_near_lambda(self):
+        pmf = Poisson(5.0, 20).pmf()
+        assert abs(int(np.argmax(pmf)) - 5) <= 1
+
+    def test_normalised(self):
+        assert np.isclose(Poisson(3.0, 15).pmf().sum(), 1.0)
+
+
+class TestEmpirical:
+    def test_from_counts(self):
+        dist = Empirical([1, 3])
+        assert np.allclose(dist.pmf(), [0.25, 0.75])
+
+    def test_from_samples(self):
+        dist = Empirical.from_samples([0, 1, 1, 2, 2, 2])
+        assert np.allclose(dist.pmf(), [1 / 6, 2 / 6, 3 / 6])
+
+    def test_from_samples_with_k(self):
+        dist = Empirical.from_samples([0, 0, 1], k=4)
+        assert dist.k == 4
+        assert dist.pmf()[3] == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical.from_samples([])
+
+
+class TestConstant:
+    def test_point_mass(self):
+        dist = Constant(2, 5)
+        pmf = dist.pmf()
+        assert pmf[2] == 1.0
+        assert pmf.sum() == 1.0
+
+    def test_sampling_always_value(self, stream):
+        draws = Constant(3, 6).sample(stream, np.arange(100))
+        assert (draws == 3).all()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Constant(5, 5)
+
+
+class TestDistributionProtocol:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Categorical([0.2, 0.8]),
+            Uniform(7),
+            Geometric(0.3, 9),
+            TruncatedGeometric(0.4, 16),
+            Zipf(1.5, 11),
+            PowerLaw(2.0, 2, 20),
+            Poisson(4.0, 25),
+            Empirical([5, 1, 4]),
+            Constant(0, 3),
+        ],
+    )
+    def test_pmf_is_probability_vector(self, dist):
+        pmf = dist.pmf()
+        assert pmf.ndim == 1
+        assert (pmf >= 0).all()
+        assert np.isclose(pmf.sum(), 1.0)
+        assert dist.k == pmf.size
+        assert np.isclose(dist.cdf()[-1], 1.0)
+        assert dist.entropy() >= 0.0
+
+    def test_sizes_largest_remainder_exact(self):
+        dist = Categorical([0.31, 0.29, 0.40])
+        sizes = dist.sizes(10)
+        assert int(sizes.sum()) == 10

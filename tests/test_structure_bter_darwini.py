@@ -1,0 +1,139 @@
+"""Tests for BTER and Darwini (the clustering-aware generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphstats import (
+    average_clustering,
+    clustering_per_degree,
+    degree_assortativity,
+)
+from repro.structure import BTER, Darwini, chung_lu_pairs
+
+
+class TestChungLu:
+    def test_edge_count_half_weight_sum(self, stream):
+        weights = np.full(100, 4.0)
+        pairs = chung_lu_pairs(weights, stream)
+        # Erased duplicates shrink it slightly; must be in the ballpark.
+        assert 150 <= pairs.shape[0] <= 200
+
+    def test_zero_weights_no_edges(self, stream):
+        assert chung_lu_pairs(np.zeros(10), stream).size == 0
+
+    def test_rejects_negative(self, stream):
+        with pytest.raises(ValueError):
+            chung_lu_pairs(np.array([-1.0, 2.0]), stream)
+
+    def test_degree_proportional(self, stream):
+        weights = np.array([50.0] + [1.0] * 200)
+        pairs = chung_lu_pairs(weights, stream)
+        degrees = np.bincount(pairs.ravel(), minlength=201)
+        assert degrees[0] > 5 * degrees[1:].mean()
+
+
+class TestBTER:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return BTER(seed=9, avg_degree=16, max_degree=40).run(3000)
+
+    def test_mean_degree(self, graph):
+        assert 10 <= graph.degrees().mean() <= 20
+
+    def test_clustering_above_chung_lu(self, graph):
+        # A pure Chung-Lu graph of this density has cc ~ d/n ~ 0.005;
+        # BTER's affinity blocks must push it way up.
+        assert average_clustering(graph) > 0.1
+
+    def test_positive_assortativity(self, graph):
+        # Documented side effect in the paper's Table 1 discussion.
+        assert degree_assortativity(graph) > 0.0
+
+    def test_ccd_declines_with_degree(self, graph):
+        degrees, ccs = clustering_per_degree(graph)
+        low = ccs[degrees <= 10].mean()
+        high_mask = degrees >= 25
+        if high_mask.any():
+            high = ccs[high_mask].mean()
+            assert low > high
+
+    def test_explicit_degrees(self):
+        degrees = np.full(300, 10)
+        graph = BTER(seed=1, degrees=degrees).run(300)
+        assert abs(graph.degrees().mean() - 10) < 2.5
+
+    def test_scalar_ccd(self):
+        graph = BTER(seed=2, avg_degree=10, max_degree=25,
+                     ccd=0.5).run(1000)
+        assert average_clustering(graph) > 0.15
+
+    def test_array_ccd(self):
+        ccd = np.full(41, 0.4)
+        graph = BTER(seed=2, avg_degree=10, max_degree=40,
+                     ccd=ccd).run(1000)
+        assert graph.num_edges > 0
+
+    def test_callable_ccd(self):
+        graph = BTER(
+            seed=2, avg_degree=10, max_degree=25,
+            ccd=lambda d: 0.3 if d >= 2 else 0.0,
+        ).run(800)
+        assert average_clustering(graph) > 0.08
+
+    def test_ccd_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BTER(seed=0, avg_degree=10, max_degree=20, ccd=1.5).run(100)
+
+    def test_determinism(self):
+        a = BTER(seed=4, avg_degree=8, max_degree=20).run(500)
+        b = BTER(seed=4, avg_degree=8, max_degree=20).run(500)
+        assert a == b
+
+    def test_empty(self):
+        assert BTER(seed=0).run(0).num_edges == 0
+
+
+class TestDarwini:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return Darwini(seed=9, avg_degree=16, max_degree=40).run(3000)
+
+    def test_mean_degree(self, graph):
+        assert 10 <= graph.degrees().mean() <= 20
+
+    def test_clustering_present(self, graph):
+        assert average_clustering(graph) > 0.08
+
+    def test_cc_distribution_within_degree_has_spread(self, graph):
+        """Darwini's whole point: within one degree, different nodes
+        get different clustering (not a point mass like BTER)."""
+        from repro.graphstats import local_clustering
+
+        coeffs = local_clustering(graph)
+        degrees = graph.degrees()
+        # Pick the most populous degree >= 6 and check spread.
+        counts = np.bincount(degrees)
+        eligible = np.flatnonzero(counts > 50)
+        eligible = eligible[eligible >= 6]
+        assert eligible.size > 0
+        d = int(eligible[np.argmax(counts[eligible])])
+        spread = coeffs[degrees == d].std()
+        assert spread > 0.05
+
+    def test_custom_sampler(self):
+        graph = Darwini(
+            seed=1, avg_degree=10, max_degree=25,
+            cc_sampler=lambda d, u: 0.5 if d >= 2 else 0.0,
+        ).run(800)
+        assert average_clustering(graph) > 0.1
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            Darwini(seed=0, cc_bins=0).run(100)
+
+    def test_determinism(self):
+        a = Darwini(seed=4, avg_degree=8, max_degree=20).run(500)
+        b = Darwini(seed=4, avg_degree=8, max_degree=20).run(500)
+        assert a == b

@@ -1,0 +1,301 @@
+"""Tests for SBM, cardinality operators, cascades and bipartite SGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import Categorical, Zipf
+from repro.structure import (
+    BipartiteConfiguration,
+    CascadeForest,
+    OneToManyGenerator,
+    OneToOneGenerator,
+    StochasticBlockModel,
+)
+
+
+class TestStochasticBlockModel:
+    def test_block_densities(self):
+        probs = np.array([[0.2, 0.01], [0.01, 0.2]])
+        sbm = StochasticBlockModel(
+            seed=1, sizes=[200, 200], probabilities=probs
+        )
+        table = sbm.run(400)
+        labels = sbm.group_labels(400)
+        intra = (labels[table.tails] == labels[table.heads]).mean()
+        assert intra > 0.85
+
+    def test_fractions_mode(self):
+        sbm = StochasticBlockModel(
+            seed=1, fractions=[0.5, 0.5],
+            probabilities=np.full((2, 2), 0.05),
+        )
+        table = sbm.run(301)
+        assert table.num_nodes == 301
+
+    def test_sizes_must_sum_to_n(self):
+        sbm = StochasticBlockModel(
+            seed=1, sizes=[10, 10], probabilities=np.eye(2) * 0.5
+        )
+        with pytest.raises(ValueError, match="sum"):
+            sbm.run(25)
+
+    def test_asymmetric_probabilities_rejected(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            StochasticBlockModel(
+                seed=0, probabilities=[[0.1, 0.2], [0.3, 0.1]]
+            )
+
+    def test_probability_range_validated(self):
+        with pytest.raises(ValueError):
+            StochasticBlockModel(seed=0, probabilities=[[1.5]])
+
+    def test_expected_edges(self):
+        sbm = StochasticBlockModel(
+            seed=0, sizes=[100, 100],
+            probabilities=np.array([[0.1, 0.0], [0.0, 0.1]]),
+        )
+        expected = sbm.expected_edges_for_nodes(200)
+        assert abs(expected - 2 * 0.1 * 100 * 99 / 2) <= 1
+
+    def test_group_labels_layout(self):
+        sbm = StochasticBlockModel(
+            seed=0, sizes=[3, 2], probabilities=np.eye(2) * 0.5
+        )
+        assert np.array_equal(sbm.group_labels(5), [0, 0, 0, 1, 1])
+
+
+class TestOneToMany:
+    def test_every_head_exactly_one_edge(self):
+        generator = OneToManyGenerator(
+            seed=1, degree_distribution=Zipf(1.2, 20)
+        )
+        table = generator.run(500)
+        assert (np.bincount(table.heads,
+                            minlength=table.num_head_nodes) == 1).all()
+
+    def test_head_count_equals_edges(self):
+        generator = OneToManyGenerator(
+            seed=1, degree_distribution=Categorical([0.0, 1.0])
+        )
+        table = generator.run(100)
+        assert table.num_head_nodes == table.num_edges == 100
+
+    def test_tail_degrees_follow_distribution(self):
+        # Degree always exactly 3 (category 3 with offset 0).
+        dist = Categorical([0, 0, 0, 1])
+        generator = OneToManyGenerator(seed=1, degree_distribution=dist)
+        table = generator.run(200)
+        assert (table.out_degrees() == 3).all()
+
+    def test_degree_offset(self):
+        dist = Categorical([1.0])
+        generator = OneToManyGenerator(
+            seed=1, degree_distribution=dist, degree_offset=2
+        )
+        table = generator.run(50)
+        assert (table.out_degrees() == 2).all()
+
+    def test_directed(self):
+        generator = OneToManyGenerator(
+            seed=1, degree_distribution=Zipf(1.0, 5)
+        )
+        assert generator.run(10).directed
+
+    def test_missing_distribution_raises(self):
+        with pytest.raises(ValueError, match="degree_distribution"):
+            OneToManyGenerator(seed=1).run(10)
+
+
+class TestOneToOne:
+    def test_bijection(self):
+        table = OneToOneGenerator(seed=2).run(300)
+        assert np.array_equal(np.sort(table.heads), np.arange(300))
+        assert np.array_equal(table.tails, np.arange(300))
+
+    def test_unshuffled_identity(self):
+        table = OneToOneGenerator(seed=2, shuffled=False).run(10)
+        assert np.array_equal(table.tails, table.heads)
+
+    def test_shuffled_not_identity(self):
+        table = OneToOneGenerator(seed=2).run(100)
+        assert (table.tails != table.heads).any()
+
+
+class TestCascadeForest:
+    @pytest.fixture(scope="class")
+    def forest(self):
+        generator = CascadeForest(seed=5, num_cascades=10)
+        return generator.run_with_metadata(500)
+
+    def test_edge_count(self, forest):
+        assert forest.table.num_edges == 500 - 10
+
+    def test_roots_are_their_own_root(self, forest):
+        for root in range(10):
+            assert forest.roots[root] == root
+            assert forest.parents[root] == -1
+            assert forest.depths[root] == 0
+
+    def test_every_nonroot_has_parent(self, forest):
+        assert (forest.parents[10:] >= 0).all()
+
+    def test_depth_consistency(self, forest):
+        for node in range(10, 500):
+            parent = forest.parents[node]
+            assert forest.depths[node] == forest.depths[parent] + 1
+            assert forest.roots[node] == forest.roots[parent]
+
+    def test_is_forest(self, forest):
+        # n nodes, n - roots edges, no cycles by construction: verify
+        # via connected components count == number of cascades.
+        from repro.graphstats import connected_components
+
+        _, count = connected_components(forest.table)
+        assert count == forest.num_cascades
+
+    def test_propagate_monotone(self, forest):
+        """The paper's vertex-centric propagation: values must be able
+        to increase strictly down the cascade."""
+        generator = CascadeForest(seed=5, num_cascades=10)
+        initial = [0] * 500
+        values = generator.propagate(
+            forest, initial, lambda parent, node, depth: parent + 1
+        )
+        values = np.asarray(values)
+        assert np.array_equal(values, forest.depths)
+
+    def test_depth_bias_flattens(self):
+        deep = CascadeForest(
+            seed=7, num_cascades=5, depth_bias=0.0
+        ).run_with_metadata(400)
+        flat = CascadeForest(
+            seed=7, num_cascades=5, depth_bias=10.0
+        ).run_with_metadata(400)
+        assert flat.depths.max() <= deep.depths.max()
+
+    def test_empty(self):
+        result = CascadeForest(seed=0, num_cascades=3).run_with_metadata(0)
+        assert result.table.num_edges == 0
+
+
+class TestBipartiteConfiguration:
+    def test_shapes(self):
+        generator = BipartiteConfiguration(
+            seed=3,
+            tail_distribution=Zipf(1.2, 10),
+            head_distribution=Zipf(1.2, 10),
+            tail_offset=1,
+            head_offset=1,
+        )
+        table = generator.run(300)
+        assert table.is_bipartite or table.num_head_nodes > 0
+        assert table.directed
+
+    def test_explicit_head_nodes(self):
+        generator = BipartiteConfiguration(
+            seed=3,
+            tail_distribution=Categorical([0, 1.0]),
+            head_distribution=Categorical([0, 1.0]),
+            head_nodes=40,
+        )
+        table = generator.run(100)
+        assert table.num_head_nodes == 40
+
+    def test_no_duplicate_pairs(self):
+        generator = BipartiteConfiguration(
+            seed=3,
+            tail_distribution=Zipf(1.0, 8),
+            head_distribution=Zipf(1.0, 8),
+            tail_offset=1,
+            head_offset=1,
+        )
+        table = generator.run(200)
+        keys = table.tails * table.num_head_nodes + table.heads
+        assert np.unique(keys).size == len(table)
+
+    def test_missing_distributions_raise(self):
+        with pytest.raises(ValueError):
+            BipartiteConfiguration(seed=0).run(10)
+
+
+class TestAttributedSbm:
+    def _joint(self):
+        from repro.stats import TruncatedGeometric, homophily_joint
+
+        return homophily_joint(TruncatedGeometric(0.4, 8).pmf(), 0.7)
+
+    def test_joint_realised_by_construction(self):
+        from repro.stats import compare_joints, empirical_joint
+        from repro.structure import AttributedSbmGenerator
+
+        joint = self._joint()
+        generator = AttributedSbmGenerator(
+            seed=1, joint=joint, avg_degree=12
+        )
+        result = generator.run_with_labels(2000)
+        observed = empirical_joint(
+            result.table.tails, result.table.heads, result.labels, k=8
+        )
+        assert compare_joints(joint, observed).ks < 0.05
+
+    def test_labels_sized_by_marginal(self):
+        from repro.structure import AttributedSbmGenerator
+
+        joint = self._joint()
+        generator = AttributedSbmGenerator(
+            seed=1, joint=joint, avg_degree=10
+        )
+        result = generator.run_with_labels(1000)
+        sizes = np.bincount(result.labels, minlength=8)
+        expected = joint.marginal() * 1000
+        assert np.abs(sizes - expected).max() <= 1.0
+
+    def test_explicit_group_sizes(self):
+        from repro.structure import AttributedSbmGenerator
+
+        joint = self._joint()
+        sizes = np.full(8, 125, dtype=np.int64)
+        generator = AttributedSbmGenerator(
+            seed=1, joint=joint, group_sizes=sizes, avg_degree=10
+        )
+        result = generator.run_with_labels(1000)
+        assert np.array_equal(
+            np.bincount(result.labels, minlength=8), sizes
+        )
+
+    def test_group_sizes_must_sum(self):
+        from repro.structure import AttributedSbmGenerator
+
+        generator = AttributedSbmGenerator(
+            seed=1, joint=self._joint(),
+            group_sizes=np.full(8, 10, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="sum"):
+            generator.run_with_labels(1000)
+
+    def test_edge_count_near_target(self):
+        from repro.structure import AttributedSbmGenerator
+
+        generator = AttributedSbmGenerator(
+            seed=2, joint=self._joint(), avg_degree=14
+        )
+        table = generator.run(2000)
+        target = 2000 * 14 / 2
+        assert abs(table.num_edges - target) < 0.1 * target
+
+    def test_missing_joint_raises(self):
+        from repro.structure import AttributedSbmGenerator
+
+        with pytest.raises(ValueError, match="joint"):
+            AttributedSbmGenerator(seed=0, avg_degree=10).run(100)
+
+    def test_registered(self):
+        from repro.structure import create_generator
+
+        generator = create_generator(
+            "attributed_sbm", seed=0, joint=self._joint(),
+            avg_degree=8,
+        )
+        assert generator.run(500).num_edges > 0

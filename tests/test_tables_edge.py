@@ -1,0 +1,149 @@
+"""Tests for EdgeTable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tables import EdgeTable
+
+
+class TestConstruction:
+    def test_basic(self, triangle_table):
+        assert len(triangle_table) == 3
+        assert triangle_table.num_nodes == 3
+        assert triangle_table.num_edges == 3
+
+    def test_infers_node_count(self):
+        table = EdgeTable("e", [0, 5], [1, 2])
+        assert table.num_tail_nodes == 6
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            EdgeTable("e", [0, 1], [1])
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            EdgeTable("e", [-1], [0])
+
+    def test_rejects_ids_beyond_declared(self):
+        with pytest.raises(ValueError, match="exceed"):
+            EdgeTable("e", [0, 7], [1, 2], num_tail_nodes=3)
+
+    def test_bipartite_flag(self):
+        table = EdgeTable(
+            "e", [0], [0], num_tail_nodes=2, num_head_nodes=5
+        )
+        assert table.is_bipartite
+        with pytest.raises(ValueError, match="bipartite"):
+            _ = table.num_nodes
+
+    def test_empty(self):
+        table = EdgeTable("e", [], [], num_tail_nodes=0)
+        assert len(table) == 0
+        assert table.num_nodes == 0
+
+    def test_equality(self, triangle_table):
+        same = EdgeTable("tri", [0, 1, 2], [1, 2, 0], num_tail_nodes=3)
+        assert triangle_table == same
+
+    def test_rows(self):
+        table = EdgeTable("e", [0, 1], [1, 2])
+        assert list(table.rows()) == [(0, 0, 1), (1, 1, 2)]
+
+
+class TestDegrees:
+    def test_triangle_degrees(self, triangle_table):
+        assert np.array_equal(triangle_table.degrees(), [2, 2, 2])
+
+    def test_path_degrees(self, path_table):
+        assert np.array_equal(path_table.degrees(), [1, 2, 2, 1])
+
+    def test_out_in_degrees(self):
+        table = EdgeTable(
+            "e", [0, 0, 1], [1, 2, 2], num_tail_nodes=3, directed=True
+        )
+        assert np.array_equal(table.out_degrees(), [2, 1, 0])
+        assert np.array_equal(table.in_degrees(), [0, 1, 2])
+
+
+class TestAdjacency:
+    def test_csr_shape(self, triangle_table):
+        indptr, neighbors, edge_ids = triangle_table.adjacency_csr()
+        assert indptr[-1] == 2 * len(triangle_table)
+        assert neighbors.size == 2 * len(triangle_table)
+        assert edge_ids.size == neighbors.size
+
+    def test_csr_neighbors_correct(self, path_table):
+        indptr, neighbors, _ = path_table.adjacency_csr()
+        node1 = set(neighbors[indptr[1]:indptr[2]])
+        assert node1 == {0, 2}
+
+    def test_csr_edge_ids_map_back(self, path_table):
+        indptr, neighbors, edge_ids = path_table.adjacency_csr()
+        for v in range(path_table.num_nodes):
+            for slot in range(indptr[v], indptr[v + 1]):
+                eid = edge_ids[slot]
+                endpoints = {
+                    int(path_table.tails[eid]),
+                    int(path_table.heads[eid]),
+                }
+                assert v in endpoints
+                assert int(neighbors[slot]) in endpoints
+
+
+class TestTransformations:
+    def test_canonicalized_sorted(self):
+        table = EdgeTable("e", [3, 1], [0, 2])
+        canonical = table.canonicalized()
+        assert (canonical.tails <= canonical.heads).all()
+        assert canonical.tails[0] <= canonical.tails[1]
+
+    def test_deduplicated_removes_duplicates(self):
+        table = EdgeTable("e", [0, 1, 0], [1, 0, 1], num_tail_nodes=2)
+        simple = table.deduplicated()
+        assert len(simple) == 1
+
+    def test_deduplicated_removes_self_loops(self):
+        table = EdgeTable("e", [0, 1], [0, 2], num_tail_nodes=3)
+        simple = table.deduplicated()
+        assert len(simple) == 1
+        assert (simple.tails != simple.heads).all()
+
+    def test_deduplicated_keeps_self_loops_when_asked(self):
+        table = EdgeTable("e", [0, 1], [0, 2], num_tail_nodes=3)
+        kept = table.deduplicated(drop_self_loops=False)
+        assert len(kept) == 2
+
+    def test_deduplicated_directed_keeps_orientations(self):
+        table = EdgeTable(
+            "e", [0, 1], [1, 0], num_tail_nodes=2, directed=True
+        )
+        assert len(table.deduplicated()) == 2
+
+    def test_relabeled(self):
+        table = EdgeTable("e", [0, 1], [1, 2], num_tail_nodes=3)
+        relabeled = table.relabeled(np.array([2, 0, 1]))
+        assert np.array_equal(relabeled.tails, [2, 0])
+        assert np.array_equal(relabeled.heads, [0, 1])
+
+    def test_relabeled_bipartite(self):
+        table = EdgeTable(
+            "e", [0], [1], num_tail_nodes=1, num_head_nodes=2,
+            directed=True,
+        )
+        out = table.relabeled(
+            np.array([4, 5, 6, 7, 8]), np.array([1, 0])
+        )
+        assert out.tails[0] == 4
+        assert out.heads[0] == 0
+
+    def test_subsample(self):
+        table = EdgeTable("e", [0, 1, 2], [1, 2, 0], num_tail_nodes=3)
+        sub = table.subsample([2, 0])
+        assert len(sub) == 2
+        assert int(sub.tails[0]) == 2
+
+    def test_head_rows(self, triangle_table):
+        rows = triangle_table.head_rows(2)
+        assert rows == [(0, 0, 1), (1, 1, 2)]

@@ -1,0 +1,105 @@
+"""Tests for PropertyTable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tables import PropertyTable
+
+
+class TestConstruction:
+    def test_basic(self):
+        pt = PropertyTable("Person.age", [10, 20, 30])
+        assert len(pt) == 3
+        assert pt.name == "Person.age"
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            PropertyTable("bad", np.ones((2, 2)))
+
+    def test_object_dtype_for_strings(self):
+        pt = PropertyTable("Person.name", np.array(["a", "b"], dtype=object))
+        assert pt.values.dtype == object
+
+    def test_repr(self):
+        assert "n=2" in repr(PropertyTable("x", [1, 2]))
+
+    def test_equality(self):
+        assert PropertyTable("x", [1, 2]) == PropertyTable("x", [1, 2])
+        assert PropertyTable("x", [1, 2]) != PropertyTable("x", [1, 3])
+        assert PropertyTable("x", [1]) != PropertyTable("y", [1])
+
+
+class TestRelationalView:
+    def test_ids_dense(self):
+        pt = PropertyTable("x", [5, 6, 7])
+        assert np.array_equal(pt.ids, [0, 1, 2])
+
+    def test_rows(self):
+        pt = PropertyTable("x", [5, 6])
+        assert list(pt.rows()) == [(0, 5), (1, 6)]
+
+    def test_value_of_bounds(self):
+        pt = PropertyTable("x", [5, 6])
+        assert pt.value_of(1) == 6
+        with pytest.raises(IndexError):
+            pt.value_of(2)
+        with pytest.raises(IndexError):
+            pt.value_of(-1)
+
+    def test_gather(self):
+        pt = PropertyTable("x", [10, 20, 30])
+        assert np.array_equal(pt.gather([2, 0, 2]), [30, 10, 30])
+
+    def test_gather_bounds(self):
+        pt = PropertyTable("x", [10])
+        with pytest.raises(IndexError):
+            pt.gather([0, 1])
+
+    def test_head(self):
+        pt = PropertyTable("x", [7, 8, 9])
+        assert pt.head(2) == [(0, 7), (1, 8)]
+
+
+class TestCategoricalHelpers:
+    def test_categories(self, grouped_ptable):
+        values, counts = grouped_ptable.categories()
+        assert np.array_equal(values, [0, 1, 2])
+        assert np.array_equal(counts, [5, 3, 2])
+
+    def test_codes_roundtrip(self):
+        pt = PropertyTable(
+            "x", np.array(["b", "a", "b", "c"], dtype=object)
+        )
+        codes, categories = pt.codes()
+        assert np.array_equal(categories[codes], pt.values)
+
+    def test_group_counts(self, grouped_ptable):
+        assert np.array_equal(grouped_ptable.group_counts(), [5, 3, 2])
+
+    def test_codes_dense(self):
+        pt = PropertyTable("x", [100, 50, 100])
+        codes, categories = pt.codes()
+        assert set(codes) == {0, 1}
+        assert np.array_equal(categories, [50, 100])
+
+
+class TestRemap:
+    def test_remap_applies_mapping(self):
+        pt = PropertyTable("x", [10, 20, 30])
+        remapped = pt.remap([2, 2, 0])
+        assert np.array_equal(remapped.values, [30, 30, 10])
+
+    def test_remap_keeps_name_by_default(self):
+        pt = PropertyTable("x", [1, 2])
+        assert pt.remap([0, 1]).name == "x"
+
+    def test_remap_rename(self):
+        pt = PropertyTable("x", [1, 2])
+        assert pt.remap([1, 0], name="y").name == "y"
+
+    def test_remap_bounds(self):
+        pt = PropertyTable("x", [1])
+        with pytest.raises(IndexError):
+            pt.remap([0, 1])
