@@ -31,10 +31,12 @@ from .core import (
     GeneratorSpec,
     GraphGenerator,
     NodeType,
+    ParallelExecutor,
     PropertyDef,
     PropertyGraph,
     Schema,
     SchemaError,
+    execute_parallel,
     sbm_part_match,
 )
 from .core.dsl import load_schema
@@ -54,6 +56,7 @@ __all__ = [
     "GraphGenerator",
     "JointDistribution",
     "NodeType",
+    "ParallelExecutor",
     "PropertyDef",
     "PropertyGraph",
     "PropertyTable",
@@ -63,6 +66,7 @@ __all__ = [
     "__version__",
     "compare_joints",
     "empirical_joint",
+    "execute_parallel",
     "load_schema",
     "sbm_part_match",
     "social_network_schema",

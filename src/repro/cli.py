@@ -1,8 +1,10 @@
 """Command-line interface.
 
 ``datasynth generate schema.dsl --scale Person=10000 --out data/``
-parses a DSL schema, generates the graph, and exports it.  A second
-subcommand runs the paper's evaluation protocol for quick inspection::
+parses a DSL schema, generates the graph, and exports it.  Add
+``--workers N`` to run the task DAG shard-parallel on a process pool
+(bit-identical output).  A second subcommand runs the paper's
+evaluation protocol for quick inspection::
 
     datasynth protocol --kind lfr --size 10000 --k 16
 """
@@ -13,6 +15,15 @@ import argparse
 import sys
 
 __all__ = ["main", "build_parser"]
+
+
+def _worker_count(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be >= 1, got {value}"
+        )
+    return value
 
 
 def build_parser():
@@ -37,6 +48,11 @@ def build_parser():
         help="scale anchors (repeatable); override the DSL scale block",
     )
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--workers", type=_worker_count, default=1, metavar="N",
+        help="process-pool size for shard-parallel generation "
+             "(1 = serial; output is bit-identical for any N)",
+    )
     generate.add_argument(
         "--out", default="datasynth-out", help="output directory"
     )
@@ -88,6 +104,7 @@ def build_parser():
     )
     validate.add_argument("--persons", type=int, default=2_000)
     validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--workers", type=_worker_count, default=1, metavar="N")
 
     analyze = sub.add_parser(
         "analyze",
@@ -105,6 +122,7 @@ def build_parser():
     )
     example.add_argument("--persons", type=int, default=10_000)
     example.add_argument("--seed", type=int, default=0)
+    example.add_argument("--workers", type=_worker_count, default=1, metavar="N")
     example.add_argument("--out", default=None)
     return parser
 
@@ -135,7 +153,9 @@ def _cmd_generate(args):
         raise SystemExit(
             "no scale given: add a DSL scale block or --scale TYPE=COUNT"
         )
-    graph = GraphGenerator(schema, scale, seed=args.seed).generate()
+    graph = GraphGenerator(
+        schema, scale, seed=args.seed, workers=args.workers
+    ).generate()
     print(f"generated graph {graph_name!r}: {graph.summary()}")
     if args.format == "csv":
         written = export_graph_csv(graph, args.out)
@@ -179,7 +199,8 @@ def _cmd_example(args):
 
     schema = social_network_schema(num_countries=16)
     graph = GraphGenerator(
-        schema, {"Person": args.persons}, seed=args.seed
+        schema, {"Person": args.persons},
+        seed=args.seed, workers=args.workers,
     ).generate()
     print(f"running example: {graph.summary()}")
     match = graph.match_results.get("knows")
@@ -229,7 +250,8 @@ def _cmd_validate(args):
 
     schema = social_network_schema(num_countries=12)
     graph = GraphGenerator(
-        schema, {"Person": args.persons}, seed=args.seed
+        schema, {"Person": args.persons},
+        seed=args.seed, workers=args.workers,
     ).generate()
     report = validate(graph, standard_checks(schema))
     print(report)

@@ -2,6 +2,7 @@
 
 from .dependency import DependencyError, Task, TaskGraph, build_task_graph
 from .engine import GraphGenerator
+from .executor import ParallelExecutor, execute_parallel
 from .matching import (
     BipartiteMatchResult,
     SbmPartResult,
@@ -34,6 +35,7 @@ __all__ = [
     "GeneratorSpec",
     "GraphGenerator",
     "NodeType",
+    "ParallelExecutor",
     "PropertyDef",
     "PropertyGraph",
     "SbmPartResult",
@@ -44,6 +46,7 @@ __all__ = [
     "bipartite_sbm_part_match",
     "build_task_graph",
     "edge_count_target",
+    "execute_parallel",
     "greedy_label_match",
     "ldg_degree_match",
     "random_match",

@@ -90,9 +90,19 @@ class TaskGraph:
                         f"{dep!r}"
                     )
 
-    def topological_order(self):
-        """Kahn's algorithm; raises :class:`DependencyError` on cycles,
-        naming one cycle explicitly."""
+    def scheduling_state(self):
+        """Initial bookkeeping for an incremental scheduler.
+
+        Returns
+        -------
+        (indegree, dependents):
+            ``indegree`` maps task id -> number of unfinished
+            dependencies; ``dependents`` maps task id -> the ids that
+            wait on it.  A scheduler pops zero-indegree tasks, runs
+            them (in any order, possibly concurrently), and decrements
+            its dependents' counters on completion — the executor's
+            dynamic counterpart of :meth:`topological_order`.
+        """
         self.validate_references()
         indegree = {tid: 0 for tid in self._tasks}
         dependents = {tid: [] for tid in self._tasks}
@@ -100,6 +110,12 @@ class TaskGraph:
             for dep in task.depends_on:
                 indegree[task.task_id] += 1
                 dependents[dep].append(task.task_id)
+        return indegree, dependents
+
+    def topological_order(self):
+        """Kahn's algorithm; raises :class:`DependencyError` on cycles,
+        naming one cycle explicitly."""
+        indegree, dependents = self.scheduling_state()
         ready = sorted(
             tid for tid, deg in indegree.items() if deg == 0
         )

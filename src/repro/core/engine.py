@@ -8,25 +8,19 @@ finally generates edge properties — exactly the pipeline of Figure 2.
 The engine is deterministic: every task draws from a stream derived
 from ``(root seed, task id)``, so regenerating any single table requires
 only the seed and the schema — the distributed-generation story of the
-paper, which :mod:`repro.core.parallel` exercises explicitly.
+paper.  The task bodies themselves live in :mod:`repro.core.tasks` as
+pure functions; the serial path below and the shard-parallel
+:mod:`repro.core.executor` are two schedulers over the same
+implementations, which is why ``generate(workers=k)`` is bit-identical
+to ``generate()`` for every ``k`` (see DESIGN.md).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..prng import RandomStream, derive_seed
-from ..properties.registry import create_property_generator
-from ..structure.registry import create_generator
-from ..tables import PropertyTable
-from .dependency import DependencyError, build_task_graph
-from .matching import (
-    bipartite_sbm_part_match,
-    random_match,
-    sbm_part_match,
-)
+from .dependency import build_task_graph
 from .result import PropertyGraph
-from .schema import Cardinality, SchemaError
+from .schema import SchemaError
+from .tasks import apply_task
 
 __all__ = ["GraphGenerator"]
 
@@ -43,19 +37,31 @@ class GraphGenerator:
         least one anchor; everything else is inferred, Section 4.2).
     seed:
         root seed; all randomness derives from it.
+    workers:
+        default worker count for :meth:`generate`; ``1`` (the default)
+        runs the serial in-process path, ``> 1`` dispatches the task
+        DAG to a process pool via
+        :class:`~repro.core.executor.ParallelExecutor`.
 
     Examples
     --------
-    >>> generator = GraphGenerator(schema, {"Person": 1000}, seed=7)
+    >>> from repro.datasets import social_network_schema
+    >>> schema = social_network_schema(num_countries=8)
+    >>> generator = GraphGenerator(schema, {"Person": 500}, seed=7)
     >>> graph = generator.generate()
     >>> graph.num_nodes("Person")
-    1000
+    500
+    >>> graph.num_nodes("Message") == graph.num_edges("creates")
+    True
     """
 
-    def __init__(self, schema, scale, seed=0):
+    def __init__(self, schema, scale, seed=0, workers=1):
         self.schema = schema.validate()
         self.scale = dict(scale)
         self.seed = int(seed)
+        self.workers = int(workers)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
         unknown = [
             name
             for name in self.scale
@@ -74,260 +80,28 @@ class GraphGenerator:
         graph = build_task_graph(self.schema, self.scale)
         return graph.topological_order()
 
-    def _stream(self, task_id):
-        return RandomStream(derive_seed(self.seed, task_id))
-
     # -- execution -------------------------------------------------------------
 
-    def generate(self):
-        """Run all tasks and return the :class:`PropertyGraph`."""
-        result = PropertyGraph(self.schema, self.seed)
-        structures = {}  # edge -> ET with structure ids
-        generators = {}  # edge -> instantiated SG
-        for task in self.plan():
-            if task.kind == "count":
-                self._run_count(task, result, structures)
-            elif task.kind == "property":
-                self._run_node_property(task, result)
-            elif task.kind == "structure":
-                self._run_structure(task, result, structures, generators)
-            elif task.kind == "match":
-                self._run_match(task, result, structures)
-            elif task.kind == "edge_property":
-                self._run_edge_property(task, result)
-            else:  # pragma: no cover - guarded by build_task_graph
-                raise DependencyError(f"unknown task kind {task.kind!r}")
-        return result
+    def generate(self, workers=None):
+        """Run all tasks and return the :class:`PropertyGraph`.
 
-    # -- task implementations ----------------------------------------------------
-
-    def _run_count(self, task, result, structures):
-        name = task.subject
-        if name in self.scale:
-            result.node_counts[name] = int(self.scale[name])
-            return
-        # Inferred from a structure task (listed as the dependency).
-        for dep in task.depends_on:
-            if dep.startswith("structure:"):
-                edge_name = dep[len("structure:"):]
-                edge = self.schema.edge_type(edge_name)
-                table = structures[edge_name]
-                if edge.head_type == name:
-                    result.node_counts[name] = table.num_head_nodes
-                else:
-                    result.node_counts[name] = table.num_tail_nodes
-                return
-        raise DependencyError(
-            f"count task for {name!r} has no source"
-        )
-
-    def _run_node_property(self, task, result):
-        type_name, prop_name = task.subject.split(".", 1)
-        node_type = self.schema.node_type(type_name)
-        prop = node_type.property_named(prop_name)
-        if prop.generator is None:
-            raise SchemaError(
-                f"{task.subject}: no property generator declared"
-            )
-        count = result.node_counts[type_name]
-        generator = create_property_generator(
-            prop.generator.name, **prop.generator.params
-        )
-        stream = self._stream(task.task_id)
-        ids = np.arange(count, dtype=np.int64)
-        dep_arrays = [
-            result.node_property(type_name, dep).values
-            for dep in prop.depends_on
-        ]
-        values = generator.run_many(ids, stream, *dep_arrays)
-        result.node_properties[task.subject] = PropertyTable(
-            task.subject, values
-        )
-
-    def _structure_size(self, edge, generator, result):
-        """Resolve the ``n`` to call ``run`` with (Section 4.2)."""
-        if edge.name in self.scale:
-            # Scale anchored on the edge count: invert via get_num_nodes
-            # ("use the result to size the graph structure and the
-            # number of Persons").
-            return generator.get_num_nodes(int(self.scale[edge.name]))
-        return result.node_counts[edge.tail_type]
-
-    def _run_structure(self, task, result, structures, generators):
-        edge = self.schema.edge_type(task.subject)
-        if edge.structure is None:
-            raise SchemaError(
-                f"edge type {edge.name!r}: no structure generator declared"
-            )
-        sg_seed = derive_seed(self.seed, task.task_id)
-        generator = create_generator(
-            edge.structure.name, seed=sg_seed, **edge.structure.params
-        )
-        generators[edge.name] = generator
-        n = self._structure_size(edge, generator, result)
-        structures[edge.name] = generator.run(n)
-
-    def _align_joint(self, joint, categories, values):
-        """Reorder a joint's matrix into sorted-category order.
-
-        The declared joint may cover values that happen not to occur in
-        the generated PT (small scale factors); those rows/columns are
-        dropped and the matrix renormalised.  Observed values missing
-        from the declaration are an error.
+        ``workers`` overrides the constructor default for this call.
+        Any worker count produces bit-identical output; ``workers > 1``
+        simply runs independent tasks (and id-range shards of large
+        property tables) concurrently.
         """
-        from ..stats import JointDistribution
+        workers = self.workers if workers is None else int(workers)
+        if workers > 1:
+            from .executor import ParallelExecutor
 
-        if values is None:
-            return joint
-        values = list(values)
-        position = {v: i for i, v in enumerate(values)}
-        unknown = [c for c in categories if c not in position]
-        if unknown:
-            raise SchemaError(
-                "property values not covered by the correlation "
-                f"declaration: {unknown!r}"
+            return ParallelExecutor(
+                self.schema, self.scale, self.seed, workers=workers
+            ).run()
+        result = PropertyGraph(self.schema, self.seed)
+        structures = {}  # edge -> ET with structure ids (pre-matching)
+        for task in self.plan():
+            apply_task(
+                task, self.schema, self.scale, self.seed,
+                result, structures,
             )
-        perm = np.array(
-            [position[c] for c in categories], dtype=np.int64
-        )
-        matrix = np.asarray(
-            joint.matrix if isinstance(joint, JointDistribution) else joint,
-            dtype=np.float64,
-        )
-        reordered = matrix[np.ix_(perm, perm)]
-        if reordered.sum() <= 0:
-            raise SchemaError(
-                "correlation joint has no mass on the observed values"
-            )
-        if isinstance(joint, JointDistribution):
-            return JointDistribution(reordered)
-        return reordered / reordered.sum()
-
-    def _run_match(self, task, result, structures):
-        edge = self.schema.edge_type(task.subject)
-        structure = structures[edge.name]
-        stream = self._stream(task.task_id)
-        corr = edge.correlation
-
-        if edge.cardinality in (
-            Cardinality.ONE_TO_MANY, Cardinality.ONE_TO_ONE
-        ):
-            # Strict-cardinality edges: tails are matched to tail-type
-            # ids (randomly — a permutation preserves the degree
-            # distribution), heads keep identity (they *define* the head
-            # instances).
-            n_tail = result.node_counts[edge.tail_type]
-            if structure.num_tail_nodes > n_tail:
-                raise SchemaError(
-                    f"edge {edge.name!r}: structure has more tails than "
-                    f"{edge.tail_type!r} instances"
-                )
-            perm = stream.substream("tails").permutation(n_tail)
-            tail_map = perm[:structure.num_tail_nodes]
-            head_map = np.arange(
-                structure.num_head_nodes, dtype=np.int64
-            )
-            final = structure.relabeled(tail_map, head_map)
-            result.edge_tables[edge.name] = final
-            result.match_results[edge.name] = None
-            return
-
-        if not edge.is_monopartite:
-            if corr is None or corr.head_property is None:
-                # Uncorrelated bipartite many-to-many: permute each side.
-                tail_map = stream.substream("tails").permutation(
-                    result.node_counts[edge.tail_type]
-                )[:structure.num_tail_nodes]
-                head_map = stream.substream("heads").permutation(
-                    result.node_counts[edge.head_type]
-                )[:structure.num_head_nodes]
-                result.edge_tables[edge.name] = structure.relabeled(
-                    tail_map, head_map
-                )
-                result.match_results[edge.name] = None
-                return
-            tail_pt = result.node_property(
-                edge.tail_type, corr.tail_property
-            )
-            head_pt = result.node_property(
-                edge.head_type, corr.head_property
-            )
-            match = bipartite_sbm_part_match(
-                tail_pt,
-                head_pt,
-                np.asarray(corr.joint, dtype=np.float64),
-                structure,
-                order=stream.substream("arrival").permutation(
-                    structure.num_tail_nodes + structure.num_head_nodes
-                ),
-            )
-            result.edge_tables[edge.name] = structure.relabeled(
-                match.tail_mapping, match.head_mapping
-            )
-            result.match_results[edge.name] = match
-            return
-
-        # Monopartite many-to-many.
-        n = result.node_counts[edge.tail_type]
-        if structure.num_nodes > n:
-            raise SchemaError(
-                f"edge {edge.name!r}: structure has {structure.num_nodes}"
-                f" nodes but {edge.tail_type!r} has {n} instances"
-            )
-        if corr is None:
-            pt_ids = PropertyTable(edge.name, np.arange(n, dtype=np.int64))
-            mapping = random_match(
-                pt_ids, structure, seed=derive_seed(self.seed, task.task_id)
-            )
-            result.edge_tables[edge.name] = structure.relabeled(mapping)
-            result.match_results[edge.name] = None
-            return
-        pt = result.node_property(edge.tail_type, corr.tail_property)
-        _, categories = pt.codes()
-        joint = self._align_joint(corr.joint, list(categories), corr.values)
-        match = sbm_part_match(
-            pt,
-            joint,
-            structure,
-            order=stream.substream("arrival").permutation(
-                structure.num_nodes
-            ),
-            tie_stream=stream.substream("ties"),
-        )
-        result.edge_tables[edge.name] = structure.relabeled(match.mapping)
-        result.match_results[edge.name] = match
-
-    def _run_edge_property(self, task, result):
-        edge_name, prop_name = task.subject.split(".", 1)
-        edge = self.schema.edge_type(edge_name)
-        prop = edge.property_named(prop_name)
-        if prop.generator is None:
-            raise SchemaError(
-                f"{task.subject}: no property generator declared"
-            )
-        table = result.edge_tables[edge_name]
-        generator = create_property_generator(
-            prop.generator.name, **prop.generator.params
-        )
-        stream = self._stream(task.task_id)
-        ids = np.arange(len(table), dtype=np.int64)
-        dep_arrays = []
-        for dep in prop.depends_on:
-            if dep.startswith("tail."):
-                pt = result.node_property(
-                    edge.tail_type, dep[len("tail."):]
-                )
-                dep_arrays.append(pt.gather(table.tails))
-            elif dep.startswith("head."):
-                pt = result.node_property(
-                    edge.head_type, dep[len("head."):]
-                )
-                dep_arrays.append(pt.gather(table.heads))
-            else:
-                dep_arrays.append(
-                    result.edge_property(edge_name, dep).values
-                )
-        values = generator.run_many(ids, stream, *dep_arrays)
-        result.edge_properties[task.subject] = PropertyTable(
-            task.subject, values
-        )
+        return result

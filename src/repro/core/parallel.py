@@ -4,22 +4,23 @@ The paper targets a distributed, shared-nothing environment; the
 load-bearing mechanism is the in-place PG contract — any worker can
 generate the PT rows of its id range independently, because each value
 is a pure function of (seed, id, dependency values).  This module
-*simulates* that deployment: it splits a property table's id space into
-shards, generates each shard with a fresh generator instance (as a
-remote worker would), and the tests assert the concatenation is
-bit-identical to whole-table generation.
+*simulates* that deployment for a single property table: it splits the
+table's id space into shards, generates each shard with a fresh
+generator instance (as a remote worker would), and the tests assert the
+concatenation is bit-identical to whole-table generation.
 
 (The substitution is recorded in DESIGN.md: we demonstrate the exact
-property that makes the distributed claim true, without a cluster.)
+property that makes the distributed claim true, without a cluster.
+:mod:`repro.core.executor` generalises this mechanism to the full task
+DAG, running shards in an actual process pool.)
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..prng import RandomStream, derive_seed
-from ..properties.registry import create_property_generator
 from ..tables import PropertyTable
+from .tasks import property_shard_values
 
 __all__ = ["generate_property_sharded", "shard_ranges"]
 
@@ -70,24 +71,29 @@ def generate_property_sharded(
     -------
     PropertyTable
         concatenated from the shard outputs, bit-identical to the
-        engine's single-shot output for the same seed.
+        engine's single-shot output for the same seed — including the
+        value dtype when ``count == 0``, where the generator's own
+        empty output (not a hardcoded ``object`` array) is used.
     """
     task_id = f"property:{qualified_name}"
-    stream_seed = derive_seed(seed, task_id)
+    columns = [np.asarray(col) for col in dependency_columns]
     shards = []
     for start, stop in shard_ranges(count, num_shards):
-        # A fresh generator and stream per shard: no shared state.
-        generator = create_property_generator(spec.name, **spec.params)
-        stream = RandomStream(stream_seed)
-        ids = np.arange(start, stop, dtype=np.int64)
-        deps = [np.asarray(col)[start:stop] for col in dependency_columns]
-        shards.append(generator.run_many(ids, stream, *deps))
-    if shards:
-        non_empty = [s for s in shards if len(s)]
-        values = (
-            np.concatenate(non_empty) if non_empty
-            else np.empty(0, dtype=object)
+        # Each shard call instantiates a fresh generator and stream —
+        # no shared state, exactly as a remote worker would.
+        shards.append(
+            property_shard_values(
+                spec, task_id, seed, start, stop,
+                [col[start:stop] for col in columns],
+            )
         )
+    non_empty = [s for s in shards if len(s)]
+    if non_empty:
+        values = np.concatenate(non_empty)
     else:
-        values = np.empty(0, dtype=object)
+        # All shards empty (count == 0): ask the generator for its
+        # empty output so the dtype matches single-shot generation.
+        values = property_shard_values(
+            spec, task_id, seed, 0, 0, [col[:0] for col in columns]
+        )
     return PropertyTable(qualified_name, values)

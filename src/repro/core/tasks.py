@@ -1,0 +1,400 @@
+"""Pure task implementations shared by the serial and parallel engines.
+
+The engine used to run each DAG task as a method mutating the result
+graph in place.  That coupling blocked shard-parallel execution, so the
+task bodies now live here in three functional layers:
+
+* **kernels** — pure functions of explicit, picklable inputs
+  (``property_shard_values``, ``generate_structure``, ``match_edge``).
+  A kernel re-derives its random stream from ``(root seed, task id)``,
+  so *any* process given the same inputs computes bit-identical output:
+  the in-place contract of Section 4.1 that makes distributed
+  generation possible.
+* **input extraction** — ``*_inputs`` helpers that read a task's
+  dependencies out of the partially-built :class:`PropertyGraph` in the
+  coordinating process.
+* **integration** — ``apply_task``, which composes extraction, kernel
+  and result storage for the serial path; the parallel executor uses
+  the same extraction/kernel pieces but runs kernels in a worker pool.
+
+Property kernels additionally accept an id *range*: generating rows
+``[start, stop)`` with the full-table stream is bit-identical to the
+corresponding slice of single-shot generation, which is what lets the
+executor shard large property tables across workers (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..prng import RandomStream, derive_seed
+from ..properties.registry import create_property_generator
+from ..structure.registry import create_generator
+from ..tables import PropertyTable
+from .dependency import DependencyError
+from .matching import (
+    bipartite_sbm_part_match,
+    random_match,
+    sbm_part_match,
+)
+from .schema import Cardinality, SchemaError
+
+__all__ = [
+    "align_joint",
+    "apply_task",
+    "edge_property_inputs",
+    "generate_structure",
+    "match_edge",
+    "match_inputs",
+    "node_property_inputs",
+    "property_shard_values",
+    "resolve_count",
+    "store_task_output",
+    "structure_inputs",
+]
+
+
+# -- kernels (picklable inputs; safe to run in worker processes) -------------
+
+
+def property_shard_values(spec, task_id, seed, start, stop, dep_slices=()):
+    """Values of the id range ``[start, stop)`` of one property table.
+
+    ``dep_slices`` are the dependency columns *aligned with the range*
+    (row ``j`` belongs to instance ``start + j``).  Because the stream
+    seed depends only on ``(seed, task_id)`` and ``run_many`` is a pure
+    function of ``(id, r(id), deps)``, the concatenation of shard
+    outputs is bit-identical to single-shot generation — including the
+    dtype when the range is empty, which the generator's
+    ``output_dtype`` governs via its empty ``run_many`` result.
+    """
+    generator = create_property_generator(spec.name, **spec.params)
+    stream = RandomStream(derive_seed(seed, task_id))
+    ids = np.arange(start, stop, dtype=np.int64)
+    deps = [np.asarray(col) for col in dep_slices]
+    return generator.run_many(ids, stream, *deps)
+
+
+def generate_structure(spec, sg_seed, n):
+    """Run a structure generator: the pre-matching edge table."""
+    generator = create_generator(spec.name, seed=sg_seed, **spec.params)
+    return generator.run(n)
+
+
+def match_edge(
+    edge,
+    seed,
+    task_id,
+    structure,
+    tail_count,
+    head_count,
+    tail_pt=None,
+    head_pt=None,
+):
+    """Assign final node ids to a structure (the matching step).
+
+    Parameters
+    ----------
+    edge:
+        the :class:`~repro.core.schema.EdgeType` being matched.
+    seed, task_id:
+        root seed and ``"match:<edge>"`` — the stream derivation.
+    structure:
+        the pre-matching :class:`~repro.tables.EdgeTable`.
+    tail_count, head_count:
+        instance counts of the endpoint types (the id spaces matched
+        into).
+    tail_pt, head_pt:
+        correlated property tables, when ``edge.correlation`` asks for
+        them.
+
+    Returns
+    -------
+    (EdgeTable, match_result):
+        the final edge table and the matcher diagnostics (``None`` for
+        random/permutation matching).
+    """
+    stream = RandomStream(derive_seed(seed, task_id))
+    corr = edge.correlation
+
+    if edge.cardinality in (
+        Cardinality.ONE_TO_MANY, Cardinality.ONE_TO_ONE
+    ):
+        # Strict-cardinality edges: tails are matched to tail-type
+        # ids (randomly — a permutation preserves the degree
+        # distribution), heads keep identity (they *define* the head
+        # instances).
+        if structure.num_tail_nodes > tail_count:
+            raise SchemaError(
+                f"edge {edge.name!r}: structure has more tails than "
+                f"{edge.tail_type!r} instances"
+            )
+        perm = stream.substream("tails").permutation(tail_count)
+        tail_map = perm[:structure.num_tail_nodes]
+        head_map = np.arange(structure.num_head_nodes, dtype=np.int64)
+        return structure.relabeled(tail_map, head_map), None
+
+    if not edge.is_monopartite:
+        if corr is None or corr.head_property is None:
+            # Uncorrelated bipartite many-to-many: permute each side.
+            tail_map = stream.substream("tails").permutation(
+                tail_count
+            )[:structure.num_tail_nodes]
+            head_map = stream.substream("heads").permutation(
+                head_count
+            )[:structure.num_head_nodes]
+            return structure.relabeled(tail_map, head_map), None
+        match = bipartite_sbm_part_match(
+            tail_pt,
+            head_pt,
+            np.asarray(corr.joint, dtype=np.float64),
+            structure,
+            order=stream.substream("arrival").permutation(
+                structure.num_tail_nodes + structure.num_head_nodes
+            ),
+        )
+        final = structure.relabeled(
+            match.tail_mapping, match.head_mapping
+        )
+        return final, match
+
+    # Monopartite many-to-many.
+    if structure.num_nodes > tail_count:
+        raise SchemaError(
+            f"edge {edge.name!r}: structure has {structure.num_nodes}"
+            f" nodes but {edge.tail_type!r} has {tail_count} instances"
+        )
+    if corr is None:
+        pt_ids = PropertyTable(
+            edge.name, np.arange(tail_count, dtype=np.int64)
+        )
+        mapping = random_match(
+            pt_ids, structure, seed=derive_seed(seed, task_id)
+        )
+        return structure.relabeled(mapping), None
+    _, categories = tail_pt.codes()
+    joint = align_joint(corr.joint, list(categories), corr.values)
+    match = sbm_part_match(
+        tail_pt,
+        joint,
+        structure,
+        order=stream.substream("arrival").permutation(
+            structure.num_nodes
+        ),
+        tie_stream=stream.substream("ties"),
+    )
+    return structure.relabeled(match.mapping), match
+
+
+def align_joint(joint, categories, values):
+    """Reorder a joint's matrix into sorted-category order.
+
+    The declared joint may cover values that happen not to occur in
+    the generated PT (small scale factors); those rows/columns are
+    dropped and the matrix renormalised.  Observed values missing
+    from the declaration are an error.
+    """
+    from ..stats import JointDistribution
+
+    if values is None:
+        return joint
+    values = list(values)
+    position = {v: i for i, v in enumerate(values)}
+    unknown = [c for c in categories if c not in position]
+    if unknown:
+        raise SchemaError(
+            "property values not covered by the correlation "
+            f"declaration: {unknown!r}"
+        )
+    perm = np.array(
+        [position[c] for c in categories], dtype=np.int64
+    )
+    matrix = np.asarray(
+        joint.matrix if isinstance(joint, JointDistribution) else joint,
+        dtype=np.float64,
+    )
+    reordered = matrix[np.ix_(perm, perm)]
+    if reordered.sum() <= 0:
+        raise SchemaError(
+            "correlation joint has no mass on the observed values"
+        )
+    if isinstance(joint, JointDistribution):
+        return JointDistribution(reordered)
+    return reordered / reordered.sum()
+
+
+# -- input extraction (runs in the coordinating process) ---------------------
+
+
+def resolve_count(schema, scale, task, structures):
+    """Instance count of a node type: scale anchor or structure size."""
+    name = task.subject
+    if name in scale:
+        return int(scale[name])
+    # Inferred from a structure task (listed as the dependency).
+    for dep in task.depends_on:
+        if dep.startswith("structure:"):
+            edge_name = dep[len("structure:"):]
+            edge = schema.edge_type(edge_name)
+            table = structures[edge_name]
+            if edge.head_type == name:
+                return table.num_head_nodes
+            return table.num_tail_nodes
+    raise DependencyError(f"count task for {name!r} has no source")
+
+
+def structure_inputs(schema, scale, seed, task, node_counts):
+    """-> ``(spec, sg_seed, n)`` for :func:`generate_structure`.
+
+    Resolves the ``n`` to call ``run`` with (Section 4.2): an edge-count
+    anchor is inverted through ``get_num_nodes`` ("use the result to
+    size the graph structure and the number of Persons"); otherwise the
+    tail type's instance count is used.  ``get_num_nodes`` is stateless,
+    so sizing here and generating in a worker stays bit-identical.
+    """
+    edge = schema.edge_type(task.subject)
+    if edge.structure is None:
+        raise SchemaError(
+            f"edge type {edge.name!r}: no structure generator declared"
+        )
+    sg_seed = derive_seed(seed, task.task_id)
+    if edge.name in scale:
+        generator = create_generator(
+            edge.structure.name, seed=sg_seed, **edge.structure.params
+        )
+        n = generator.get_num_nodes(int(scale[edge.name]))
+    else:
+        n = node_counts[edge.tail_type]
+    return edge.structure, sg_seed, n
+
+
+def node_property_inputs(schema, task, result):
+    """-> ``(spec, count, dep_arrays)`` for a node property task."""
+    type_name, prop_name = task.subject.split(".", 1)
+    node_type = schema.node_type(type_name)
+    prop = node_type.property_named(prop_name)
+    if prop.generator is None:
+        raise SchemaError(
+            f"{task.subject}: no property generator declared"
+        )
+    count = result.node_counts[type_name]
+    dep_arrays = [
+        result.node_property(type_name, dep).values
+        for dep in prop.depends_on
+    ]
+    return prop.generator, count, dep_arrays
+
+
+def edge_property_inputs(schema, task, result):
+    """-> ``(spec, count, dep_arrays)`` for an edge property task.
+
+    Endpoint-property dependencies (``tail.x`` / ``head.x``) are
+    gathered through the final edge table so the per-edge dependency
+    columns line up with edge ids.
+    """
+    edge_name, prop_name = task.subject.split(".", 1)
+    edge = schema.edge_type(edge_name)
+    prop = edge.property_named(prop_name)
+    if prop.generator is None:
+        raise SchemaError(
+            f"{task.subject}: no property generator declared"
+        )
+    table = result.edge_tables[edge_name]
+    dep_arrays = []
+    for dep in prop.depends_on:
+        if dep.startswith("tail."):
+            pt = result.node_property(edge.tail_type, dep[len("tail."):])
+            dep_arrays.append(pt.gather(table.tails))
+        elif dep.startswith("head."):
+            pt = result.node_property(edge.head_type, dep[len("head."):])
+            dep_arrays.append(pt.gather(table.heads))
+        else:
+            dep_arrays.append(
+                result.edge_property(edge_name, dep).values
+            )
+    return prop.generator, len(table), dep_arrays
+
+
+def match_inputs(schema, task, result, structures):
+    """-> kwargs for :func:`match_edge` (minus seed/task_id)."""
+    edge = schema.edge_type(task.subject)
+    structure = structures[edge.name]
+    tail_pt = head_pt = None
+    strict = edge.cardinality in (
+        Cardinality.ONE_TO_MANY, Cardinality.ONE_TO_ONE
+    )
+    # Strict-cardinality matching ignores correlations, so don't ship
+    # the property tables into the kernel (they'd be pickled for
+    # nothing on the process backend).
+    if edge.correlation is not None and not strict:
+        corr = edge.correlation
+        tail_pt = result.node_property(
+            edge.tail_type, corr.tail_property
+        )
+        if corr.head_property is not None:
+            head_pt = result.node_property(
+                edge.head_type, corr.head_property
+            )
+    return {
+        "edge": edge,
+        "structure": structure,
+        "tail_count": result.node_counts[edge.tail_type],
+        "head_count": result.node_counts[edge.head_type],
+        "tail_pt": tail_pt,
+        "head_pt": head_pt,
+    }
+
+
+# -- integration --------------------------------------------------------------
+
+
+def store_task_output(task, result, structures, output):
+    """Write one task's kernel output into the result graph."""
+    if task.kind == "count":
+        result.node_counts[task.subject] = output
+    elif task.kind == "property":
+        result.node_properties[task.subject] = PropertyTable(
+            task.subject, output
+        )
+    elif task.kind == "structure":
+        structures[task.subject] = output
+    elif task.kind == "match":
+        table, match = output
+        result.edge_tables[task.subject] = table
+        result.match_results[task.subject] = match
+    elif task.kind == "edge_property":
+        result.edge_properties[task.subject] = PropertyTable(
+            task.subject, output
+        )
+    else:  # pragma: no cover - guarded by build_task_graph
+        raise DependencyError(f"unknown task kind {task.kind!r}")
+
+
+def apply_task(task, schema, scale, seed, result, structures):
+    """Run one task inline and integrate it — the serial engine's step."""
+    if task.kind == "count":
+        output = resolve_count(schema, scale, task, structures)
+    elif task.kind == "property":
+        spec, count, deps = node_property_inputs(schema, task, result)
+        output = property_shard_values(
+            spec, task.task_id, seed, 0, count, deps
+        )
+    elif task.kind == "structure":
+        spec, sg_seed, n = structure_inputs(
+            schema, scale, seed, task, result.node_counts
+        )
+        output = generate_structure(spec, sg_seed, n)
+    elif task.kind == "match":
+        output = match_edge(
+            seed=seed,
+            task_id=task.task_id,
+            **match_inputs(schema, task, result, structures),
+        )
+    elif task.kind == "edge_property":
+        spec, count, deps = edge_property_inputs(schema, task, result)
+        output = property_shard_values(
+            spec, task.task_id, seed, 0, count, deps
+        )
+    else:  # pragma: no cover - guarded by build_task_graph
+        raise DependencyError(f"unknown task kind {task.kind!r}")
+    store_task_output(task, result, structures, output)

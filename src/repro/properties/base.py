@@ -109,8 +109,16 @@ class BoundGenerator:
     ``run(id, r(id), *deps)`` with bit-identical results to the
     vectorised path.
 
+    >>> import numpy as np
+    >>> from repro.prng import RandomStream
+    >>> from repro.properties.numeric import UniformIntGenerator
+    >>> generator = UniformIntGenerator(low=0, high=10)
+    >>> stream = RandomStream(1, "T.x")
     >>> bound = BoundGenerator(generator, stream)
-    >>> bound.run(7, stream(7))           # value for instance 7
+    >>> scalar = bound.run(7)             # value for instance 7
+    >>> vector = generator.run_many(np.array([7]), stream)
+    >>> int(scalar) == int(vector[0])
+    True
     """
 
     def __init__(self, generator, stream):

@@ -78,6 +78,28 @@ class TestGenerate:
         )
         assert (out / "knows.edges").exists()
 
+    def test_workers_flag_same_output(self, tmp_path, capsys):
+        """--workers N routes through the parallel executor and writes
+        the same files with the same contents."""
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        serial_out = tmp_path / "serial"
+        parallel_out = tmp_path / "parallel"
+        assert main(
+            ["generate", str(schema_path), "--out", str(serial_out)]
+        ) == 0
+        assert main(
+            [
+                "generate", str(schema_path),
+                "--workers", "2", "--out", str(parallel_out),
+            ]
+        ) == 0
+        for name in ("Person.age.csv", "knows.csv"):
+            assert (
+                (serial_out / name).read_text()
+                == (parallel_out / name).read_text()
+            )
+
     def test_jsonl_format(self, tmp_path):
         schema_path = tmp_path / "tiny.dsl"
         schema_path.write_text(DSL)

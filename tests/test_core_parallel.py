@@ -103,3 +103,18 @@ class TestInPlaceGeneration:
             spec, "T.x", 0, 1, 4
         )
         assert len(sharded) == 0
+
+    def test_empty_table_keeps_generator_dtype(self):
+        """count == 0 must stay bit-identical to single-shot output:
+        the empty fallback takes the generator's dtype, not object."""
+        from repro.core.tasks import property_shard_values
+
+        for name, params, in (
+            ("uniform_int", {"low": 0, "high": 3}),
+            ("uniform_float", {"low": 0.0, "high": 1.0}),
+        ):
+            spec = GeneratorSpec(name, params)
+            sharded = generate_property_sharded(spec, "T.x", 0, 1, 4)
+            single = property_shard_values(spec, "property:T.x", 1, 0, 0)
+            assert sharded.values.dtype == single.dtype
+            assert np.array_equal(sharded.values, single)

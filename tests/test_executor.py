@@ -1,0 +1,269 @@
+"""Tests for the shard-parallel DAG executor.
+
+The acceptance bar: ``generate(workers=k)`` is bit-identical to the
+serial engine for every task kind — count, property, structure, match,
+edge_property — for ``k`` in {1, 2, 4}, across backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Cardinality,
+    CorrelationSpec,
+    EdgeType,
+    GeneratorSpec,
+    GraphGenerator,
+    NodeType,
+    ParallelExecutor,
+    PropertyDef,
+    Schema,
+    SchemaError,
+    execute_parallel,
+)
+from repro.datasets import social_network_schema
+
+
+def assert_graphs_identical(expected, actual):
+    """Bit-identity including dict insertion order and value dtypes."""
+    assert expected.node_counts == actual.node_counts
+    assert list(expected.node_counts) == list(actual.node_counts)
+
+    assert list(expected.node_properties) == list(actual.node_properties)
+    for key, pt in expected.node_properties.items():
+        other = actual.node_properties[key]
+        assert pt == other, key
+        assert pt.values.dtype == other.values.dtype, key
+
+    assert list(expected.edge_tables) == list(actual.edge_tables)
+    for key, table in expected.edge_tables.items():
+        assert table == actual.edge_tables[key], key
+
+    assert list(expected.edge_properties) == list(actual.edge_properties)
+    for key, pt in expected.edge_properties.items():
+        other = actual.edge_properties[key]
+        assert pt == other, key
+        assert pt.values.dtype == other.values.dtype, key
+
+    assert list(expected.match_results) == list(actual.match_results)
+    for key, match in expected.match_results.items():
+        other = actual.match_results[key]
+        if match is None:
+            assert other is None, key
+            continue
+        for attr in ("mapping", "tail_mapping", "head_mapping"):
+            mine = getattr(match, attr, None)
+            if mine is not None:
+                assert np.array_equal(mine, getattr(other, attr)), key
+
+
+@pytest.fixture(scope="module")
+def social_serial():
+    """Serial reference output exercising every task kind: scale and
+    structure-inferred counts, plain and conditional properties, LFR
+    and one-to-many structures, correlated and strict-cardinality
+    matching, and edge properties with endpoint dependencies."""
+    schema = social_network_schema(num_countries=8)
+    return GraphGenerator(schema, {"Person": 400}, seed=23).generate()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_social_network_across_worker_counts(
+        self, social_serial, workers
+    ):
+        schema = social_network_schema(num_countries=8)
+        graph = ParallelExecutor(
+            schema, {"Person": 400}, seed=23,
+            workers=workers, shard_size=64,
+        ).run()
+        assert_graphs_identical(social_serial, graph)
+
+    def test_thread_backend(self, social_serial):
+        schema = social_network_schema(num_countries=8)
+        graph = ParallelExecutor(
+            schema, {"Person": 400}, seed=23,
+            workers=4, shard_size=64, backend="thread",
+        ).run()
+        assert_graphs_identical(social_serial, graph)
+
+    def test_serial_backend(self, social_serial):
+        schema = social_network_schema(num_countries=8)
+        graph = ParallelExecutor(
+            schema, {"Person": 400}, seed=23,
+            workers=4, backend="serial",
+        ).run()
+        assert_graphs_identical(social_serial, graph)
+
+    def test_generator_workers_flag(self, social_serial):
+        schema = social_network_schema(num_countries=8)
+        graph = GraphGenerator(
+            schema, {"Person": 400}, seed=23, workers=2
+        ).generate()
+        assert_graphs_identical(social_serial, graph)
+
+    def test_generate_call_override(self, social_serial):
+        schema = social_network_schema(num_countries=8)
+        generator = GraphGenerator(schema, {"Person": 400}, seed=23)
+        graph = generator.generate(workers=2)
+        assert_graphs_identical(social_serial, graph)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_bipartite_correlated(self, workers):
+        """Bipartite many-to-many with a cross-type correlation — the
+        match kernel's remaining branch."""
+        from repro.stats import Zipf
+
+        person = NodeType(
+            "Person",
+            properties=[
+                PropertyDef(
+                    "group",
+                    "long",
+                    GeneratorSpec(
+                        "categorical",
+                        {"values": [0, 1], "weights": [0.5, 0.5]},
+                    ),
+                )
+            ],
+        )
+        item = NodeType(
+            "Item",
+            properties=[
+                PropertyDef(
+                    "kind",
+                    "long",
+                    GeneratorSpec(
+                        "categorical",
+                        {"values": [0, 1], "weights": [0.5, 0.5]},
+                    ),
+                )
+            ],
+        )
+        likes = EdgeType(
+            "likes",
+            "Person",
+            "Item",
+            structure=GeneratorSpec(
+                "bipartite_configuration",
+                {
+                    "tail_distribution": Zipf(1.2, 6),
+                    "head_distribution": Zipf(1.2, 6),
+                    "tail_offset": 1,
+                    "head_offset": 1,
+                    "head_nodes": 120,
+                },
+            ),
+            correlation=CorrelationSpec(
+                tail_property="group",
+                head_property="kind",
+                joint=np.array([[0.45, 0.05], [0.05, 0.45]]),
+            ),
+            directed=True,
+        )
+        schema = Schema(node_types=[person, item], edge_types=[likes])
+        scale = {"Person": 120, "Item": 120}
+        serial = GraphGenerator(schema, scale, seed=4).generate()
+        parallel = execute_parallel(
+            schema, scale, seed=4, workers=workers, shard_size=32
+        )
+        assert_graphs_identical(serial, parallel)
+
+    def test_edge_count_anchor(self):
+        """Scale anchored on an edge count: sizing via get_num_nodes in
+        the coordinator must match the serial path."""
+        schema = Schema(
+            node_types=[
+                NodeType(
+                    "T",
+                    properties=[
+                        PropertyDef(
+                            "x",
+                            "long",
+                            GeneratorSpec(
+                                "uniform_int", {"low": 0, "high": 9}
+                            ),
+                        )
+                    ],
+                )
+            ],
+            edge_types=[
+                EdgeType(
+                    "e",
+                    "T",
+                    "T",
+                    structure=GeneratorSpec(
+                        "erdos_renyi_m", {"edges_per_node": 4}
+                    ),
+                )
+            ],
+        )
+        serial = GraphGenerator(schema, {"e": 1000}, seed=6).generate()
+        parallel = execute_parallel(
+            schema, {"e": 1000}, seed=6, workers=2, shard_size=50
+        )
+        assert_graphs_identical(serial, parallel)
+        assert parallel.num_edges("e") == 1000
+
+
+class TestSharding:
+    def test_plan_shards_respects_workers_and_size(self):
+        executor = ParallelExecutor(
+            Schema(node_types=[NodeType("T")]), {"T": 1},
+            workers=4, shard_size=100,
+        )
+        assert executor._plan_shards(0) == [(0, 0)]
+        assert executor._plan_shards(50) == [(0, 50)]
+        assert len(executor._plan_shards(250)) == 3
+        assert len(executor._plan_shards(100_000)) == 4  # capped by workers
+        ranges = executor._plan_shards(399)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 399
+
+    def test_shards_are_contiguous_and_nonempty(self):
+        executor = ParallelExecutor(
+            Schema(node_types=[NodeType("T")]), {"T": 1},
+            workers=8, shard_size=10,
+        )
+        for count in (1, 7, 79, 81):
+            ranges = executor._plan_shards(count)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == count
+            for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                assert start == stop
+            assert all(stop > start for start, stop in ranges)
+
+
+class TestValidation:
+    def test_rejects_bad_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ParallelExecutor(
+                Schema(node_types=[NodeType("T")]), {"T": 1},
+                backend="mpi",
+            )
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelExecutor(
+                Schema(node_types=[NodeType("T")]), {"T": 1}, workers=0
+            )
+        with pytest.raises(ValueError, match="workers"):
+            GraphGenerator(
+                Schema(node_types=[NodeType("T")]), {"T": 1}, workers=0
+            )
+
+    def test_rejects_bad_shard_size(self):
+        with pytest.raises(ValueError, match="shard_size"):
+            ParallelExecutor(
+                Schema(node_types=[NodeType("T")]), {"T": 1}, shard_size=0
+            )
+
+    def test_schema_errors_propagate(self):
+        schema = Schema(
+            node_types=[
+                NodeType("T", properties=[PropertyDef("a", "string")])
+            ],
+        )
+        with pytest.raises(SchemaError, match="no property generator"):
+            execute_parallel(schema, {"T": 5}, workers=2)
