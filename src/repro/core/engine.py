@@ -20,7 +20,7 @@ from __future__ import annotations
 from .dependency import build_task_graph
 from .result import PropertyGraph
 from .schema import SchemaError
-from .tasks import apply_task
+from .tasks import apply_task, export_task_output
 
 __all__ = ["GraphGenerator"]
 
@@ -82,13 +82,19 @@ class GraphGenerator:
 
     # -- execution -------------------------------------------------------------
 
-    def generate(self, workers=None):
+    def generate(self, workers=None, sink=None):
         """Run all tasks and return the :class:`PropertyGraph`.
 
         ``workers`` overrides the constructor default for this call.
         Any worker count produces bit-identical output; ``workers > 1``
         simply runs independent tasks (and id-range shards of large
         property tables) concurrently.
+
+        ``sink`` streams the graph to disk *while it is generated*: a
+        :class:`~repro.io.streaming.GraphSink` receives each completed
+        table in serial plan order and writes it in id-range chunks,
+        producing bytes identical to exporting the finished graph (and
+        identical for every worker count).
         """
         workers = self.workers if workers is None else int(workers)
         if workers > 1:
@@ -96,12 +102,17 @@ class GraphGenerator:
 
             return ParallelExecutor(
                 self.schema, self.scale, self.seed, workers=workers
-            ).run()
+            ).run(sink=sink)
         result = PropertyGraph(self.schema, self.seed)
         structures = {}  # edge -> ET with structure ids (pre-matching)
+        if sink is not None:
+            sink.begin(result)
         for task in self.plan():
             apply_task(
                 task, self.schema, self.scale, self.seed,
                 result, structures,
             )
+            export_task_output(task, sink)
+        if sink is not None:
+            sink.finish()
         return result

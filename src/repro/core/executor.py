@@ -44,6 +44,7 @@ from .result import PropertyGraph
 from .tasks import (
     apply_task,
     edge_property_inputs,
+    export_task_output,
     generate_structure,
     match_edge,
     match_inputs,
@@ -111,24 +112,42 @@ class ParallelExecutor:
 
     # -- public entry ---------------------------------------------------------
 
-    def run(self):
-        """Execute all tasks; returns the :class:`PropertyGraph`."""
+    def run(self, sink=None):
+        """Execute all tasks; returns the :class:`PropertyGraph`.
+
+        ``sink`` (a :class:`~repro.io.streaming.GraphSink`) streams
+        completed tables to disk *during* execution: an export cursor
+        walks the serial plan order and announces each task as soon as
+        it and every plan-order predecessor have finished, so shard
+        results flow straight into chunked files without waiting for
+        the whole DAG — and the bytes equal a post-hoc export of the
+        serial engine's graph, for any worker count.
+        """
         graph = build_task_graph(self.schema, self.scale)
         order = graph.topological_order()  # validates + cycle check
         result = PropertyGraph(self.schema, self.seed)
         structures = {}
+        if sink is not None:
+            sink.begin(result)
         if self.backend == "serial" or self.workers == 1:
             for task in order:
                 apply_task(
                     task, self.schema, self.scale, self.seed,
                     result, structures,
                 )
+                export_task_output(task, sink)
+            if sink is not None:
+                sink.finish()
             return result
         pool = self._make_pool()
         try:
-            self._run_pooled(pool, graph, order, result, structures)
+            self._run_pooled(
+                pool, graph, order, result, structures, sink
+            )
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
+        if sink is not None:
+            sink.finish()
         return self._reassemble(order, result)
 
     # -- scheduling -----------------------------------------------------------
@@ -147,7 +166,8 @@ class ParallelExecutor:
         )
         return shard_ranges(count, max(1, num_shards))
 
-    def _run_pooled(self, pool, graph, order, result, structures):
+    def _run_pooled(self, pool, graph, order, result, structures,
+                    sink=None):
         position = {task.task_id: i for i, task in enumerate(order)}
         indegree, dependents = graph.scheduling_state()
         unfinished = {task.task_id for task in order}
@@ -160,10 +180,25 @@ class ParallelExecutor:
         pending = {}  # future -> (task, shard_index | None)
         shard_parts = {}  # task_id -> list of shard outputs
         shard_missing = {}  # task_id -> outstanding shard count
+        export_cursor = 0  # next plan-order task to announce to sink
+
+        def advance_exports():
+            # Completion order is timing-dependent; the cursor restores
+            # the serial plan order the sink protocol requires.
+            nonlocal export_cursor
+            if sink is None:
+                return
+            while export_cursor < len(order):
+                task = order[export_cursor]
+                if task.task_id in unfinished:
+                    return
+                export_task_output(task, sink)
+                export_cursor += 1
 
         def complete(task, output):
             store_task_output(task, result, structures, output)
             unfinished.discard(task.task_id)
+            advance_exports()
             released = []
             for dep_id in dependents[task.task_id]:
                 indegree[dep_id] -= 1
@@ -283,10 +318,11 @@ class ParallelExecutor:
         return final
 
 
-def execute_parallel(schema, scale, seed=0, **kwargs):
+def execute_parallel(schema, scale, seed=0, sink=None, **kwargs):
     """One-call form: ``execute_parallel(schema, scale, seed, workers=4)``.
 
-    Accepts the same keyword arguments as :class:`ParallelExecutor` and
-    returns the generated :class:`PropertyGraph`.
+    Accepts the same keyword arguments as :class:`ParallelExecutor`
+    (plus ``sink`` for streaming export) and returns the generated
+    :class:`PropertyGraph`.
     """
-    return ParallelExecutor(schema, scale, seed, **kwargs).run()
+    return ParallelExecutor(schema, scale, seed, **kwargs).run(sink=sink)

@@ -43,6 +43,7 @@ __all__ = [
     "align_joint",
     "apply_task",
     "edge_property_inputs",
+    "export_task_output",
     "generate_structure",
     "match_edge",
     "match_inputs",
@@ -368,6 +369,35 @@ def store_task_output(task, result, structures, output):
         )
     else:  # pragma: no cover - guarded by build_task_graph
         raise DependencyError(f"unknown task kind {task.kind!r}")
+
+
+#: task kind -> the sink event it maps to.  ``structure`` outputs are
+#: pre-matching intermediates and are never exported.
+_EXPORT_EVENTS = {
+    "count": "count",
+    "property": "node_property",
+    "match": "edge_table",
+    "edge_property": "edge_property",
+}
+
+
+def export_task_output(task, sink):
+    """Announce one completed task to a streaming export sink.
+
+    Both engines call this in *serial plan order* — each task only
+    after every plan-order predecessor has completed — which is the
+    ordering guarantee sinks rely on to flush record-oriented files at
+    the earliest correct moment (see
+    :class:`repro.io.streaming.GraphSink`).  The sink reads the task's
+    table out of the result graph it was attached to via ``begin`` and
+    streams it in id-range chunks, so export overlaps generation
+    without re-materialising any table.
+    """
+    if sink is None:
+        return
+    event = _EXPORT_EVENTS.get(task.kind)
+    if event is not None:
+        sink.on_table(event, task.subject)
 
 
 def apply_task(task, schema, scale, seed, result, structures):

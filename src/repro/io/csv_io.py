@@ -4,16 +4,33 @@ The integrability requirement of Section 2: generators should connect
 to production technologies.  CSV is the lingua franca (LDBC-SNB ships
 CSVs); every table here round-trips losslessly for the supported
 dtypes.
+
+Writers stream fixed-size id-range chunks through the vectorised
+formatters of :mod:`repro.io.chunks` instead of the historical per-row
+``csv.writer`` loop; the bytes are identical (QUOTE_MINIMAL quoting,
+CRLF terminators — pinned by ``tests/golden/``) but peak memory is
+O(chunk) and throughput is an order of magnitude higher (see
+``benchmarks/bench_streaming_io.py``).  ``compress=True`` (or a
+``.gz`` suffix) gzips transparently with deterministic headers.
 """
 
 from __future__ import annotations
 
 import csv
+from itertools import islice
 from pathlib import Path
 
 import numpy as np
 
 from ..tables import EdgeTable, PropertyTable
+from .chunks import (
+    DEFAULT_CHUNK_SIZE,
+    format_edge_csv_chunk,
+    format_property_csv_chunk,
+    open_text,
+    parse_typed_column,
+    table_stem,
+)
 
 __all__ = [
     "write_property_table",
@@ -23,53 +40,116 @@ __all__ = [
     "export_graph_csv",
 ]
 
+_PT_HEADER = ["id", "value"]
+_ET_HEADER = ["id", "tailId", "headId"]
 
-def write_property_table(table, path):
-    """Write a PT as ``id,value`` CSV (header included)."""
+
+def write_property_table(table, path, chunk_size=DEFAULT_CHUNK_SIZE,
+                         compress=None):
+    """Write a PT as ``id,value`` CSV (header included), chunk-streamed."""
     path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["id", "value"])
-        for row_id, value in table.rows():
-            writer.writerow([row_id, value])
+    with open_text(path, "w", compress) as handle:
+        handle.write("id,value\r\n")
+        for start, values in table.iter_chunks(chunk_size):
+            handle.write(format_property_csv_chunk(start, values))
     return path
 
 
-def read_property_table(path, name=None, dtype=None):
-    """Read a PT written by :func:`write_property_table`.
-
-    ``dtype`` forces the value column type; by default int, then float,
-    then string parsing is attempted.
-    """
+def write_edge_table(table, path, chunk_size=DEFAULT_CHUNK_SIZE,
+                     compress=None):
+    """Write an ET as ``id,tailId,headId`` CSV, chunk-streamed."""
     path = Path(path)
-    values = []
-    with path.open(newline="") as handle:
+    with open_text(path, "w", compress) as handle:
+        handle.write("id,tailId,headId\r\n")
+        for start, tails, heads in table.iter_chunks(chunk_size):
+            handle.write(format_edge_csv_chunk(start, tails, heads))
+    return path
+
+
+def _iter_csv_chunks(path, expected_header, chunk_size):
+    """Yield ``(start_row, columns)`` per chunk; validates shape."""
+    with open_text(path, "r") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
-        if header != ["id", "value"]:
+        if header != expected_header:
             raise ValueError(
-                f"{path}: expected header ['id', 'value'], got {header}"
+                f"{path}: expected header {expected_header}, got {header}"
             )
-        for row_number, row in enumerate(reader):
-            if len(row) != 2:
-                raise ValueError(f"{path}:{row_number + 2}: malformed row")
-            row_id, value = row
-            if int(row_id) != row_number:
-                raise ValueError(
-                    f"{path}: non-dense ids (expected {row_number}, "
-                    f"got {row_id})"
-                )
-            values.append(value)
-    array = _parse_values(values, dtype)
-    return PropertyTable(name or path.stem, array)
+        width = len(expected_header)
+        start = 0
+        while True:
+            block = list(islice(reader, chunk_size))
+            if not block:
+                return
+            for offset, row in enumerate(block):
+                if len(row) != width:
+                    raise ValueError(
+                        f"{path}:{start + offset + 2}: malformed row"
+                    )
+            yield start, tuple(
+                [row[i] for row in block] for i in range(width)
+            )
+            start += len(block)
+
+
+def _check_dense_ids(path, start, id_strings, label="ids"):
+    """Vectorised check that ids equal ``start..start+len-1``."""
+    try:
+        ids = parse_typed_column(id_strings, np.int64)
+    except ValueError:
+        raise ValueError(
+            f"{path}: non-dense {label} (non-integer id)"
+        ) from None
+    expected = np.arange(start, start + len(ids), dtype=np.int64)
+    if not np.array_equal(ids, expected):
+        bad = int(np.argmax(ids != expected))
+        raise ValueError(
+            f"{path}: non-dense {label} (expected {start + bad}, "
+            f"got {int(ids[bad])})"
+        )
+
+
+def read_property_table(path, name=None, dtype=None,
+                        chunk_size=DEFAULT_CHUNK_SIZE):
+    """Read a PT written by :func:`write_property_table`.
+
+    ``dtype`` forces the value column type — any supported table dtype
+    round-trips exactly, including bool, unicode and datetime (the
+    manifest-driven :class:`~repro.io.streaming.CsvSource` passes the
+    recorded dtype automatically).  Without ``dtype``, int, then float,
+    then string parsing is attempted, matching the historical
+    behaviour.  Typed reads parse chunk by chunk; only the heuristic
+    path buffers the raw strings.
+    """
+    path = Path(path)
+    forced = None if dtype is None else np.dtype(dtype)
+    parsed = []
+    raw = []
+    for start, (id_col, value_col) in _iter_csv_chunks(
+        path, _PT_HEADER, chunk_size
+    ):
+        _check_dense_ids(path, start, id_col)
+        if forced is None:
+            raw.extend(value_col)
+        else:
+            parsed.append(parse_typed_column(value_col, forced))
+    if forced is None:
+        values = _parse_values(raw, None)
+    elif parsed:
+        values = np.concatenate(parsed)
+    else:
+        values = np.empty(
+            0, dtype=object if forced.kind == "O" else forced
+        )
+    return PropertyTable(name or table_stem(path), values)
 
 
 def _parse_values(values, dtype):
     if dtype is not None:
         dtype = np.dtype(dtype)
-        if dtype.kind in ("U", "O"):
+        if dtype.kind == "O":
             return np.array(values, dtype=object)
-        return np.array(values).astype(dtype)
+        return parse_typed_column(values, dtype)
     try:
         return np.array([int(v) for v in values], dtype=np.int64)
     except ValueError:
@@ -81,67 +161,39 @@ def _parse_values(values, dtype):
     return np.array(values, dtype=object)
 
 
-def write_edge_table(table, path):
-    """Write an ET as ``id,tailId,headId`` CSV."""
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["id", "tailId", "headId"])
-        for edge_id, tail, head in table.rows():
-            writer.writerow([edge_id, tail, head])
-    return path
-
-
 def read_edge_table(path, name=None, directed=False,
-                    num_tail_nodes=None, num_head_nodes=None):
-    """Read an ET written by :func:`write_edge_table`."""
+                    num_tail_nodes=None, num_head_nodes=None,
+                    chunk_size=DEFAULT_CHUNK_SIZE):
+    """Read an ET written by :func:`write_edge_table`, chunk by chunk."""
     path = Path(path)
-    tails, heads = [], []
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header != ["id", "tailId", "headId"]:
-            raise ValueError(
-                f"{path}: expected header ['id', 'tailId', 'headId'], "
-                f"got {header}"
-            )
-        for row_number, row in enumerate(reader):
-            if len(row) != 3:
-                raise ValueError(f"{path}:{row_number + 2}: malformed row")
-            edge_id, tail, head = row
-            if int(edge_id) != row_number:
-                raise ValueError(f"{path}: non-dense edge ids")
-            tails.append(int(tail))
-            heads.append(int(head))
+    tail_parts, head_parts = [], []
+    for start, (id_col, tail_col, head_col) in _iter_csv_chunks(
+        path, _ET_HEADER, chunk_size
+    ):
+        _check_dense_ids(path, start, id_col, label="edge ids")
+        tail_parts.append(parse_typed_column(tail_col, np.int64))
+        head_parts.append(parse_typed_column(head_col, np.int64))
+    empty = np.empty(0, dtype=np.int64)
     return EdgeTable(
-        name or path.stem,
-        np.array(tails, dtype=np.int64),
-        np.array(heads, dtype=np.int64),
+        name or table_stem(path),
+        np.concatenate(tail_parts) if tail_parts else empty,
+        np.concatenate(head_parts) if head_parts else empty,
         num_tail_nodes=num_tail_nodes,
         num_head_nodes=num_head_nodes,
         directed=directed,
     )
 
 
-def export_graph_csv(graph, directory):
+def export_graph_csv(graph, directory, chunk_size=DEFAULT_CHUNK_SIZE,
+                     compress=False):
     """Export a whole :class:`~repro.core.result.PropertyGraph` to a
-    directory of CSVs: one file per PT and ET, named by qualified name.
+    directory of CSVs: one file per PT and ET, named by qualified name,
+    plus a ``manifest.json`` recording dtypes and shapes so
+    :class:`~repro.io.streaming.CsvSource` can round-trip losslessly.
 
     Returns the list of written paths.
     """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    written = []
-    for key, table in graph.node_properties.items():
-        written.append(
-            write_property_table(table, directory / f"{key}.csv")
-        )
-    for key, table in graph.edge_properties.items():
-        written.append(
-            write_property_table(table, directory / f"{key}.csv")
-        )
-    for name, table in graph.edge_tables.items():
-        written.append(
-            write_edge_table(table, directory / f"{name}.csv")
-        )
-    return written
+    from .streaming import CsvSink, export_graph
+
+    sink = CsvSink(directory, chunk_size=chunk_size, compress=compress)
+    return export_graph(graph, sink)

@@ -132,6 +132,28 @@ class EdgeTable:
         for i in range(len(self)):
             yield i, int(self.tails[i]), int(self.heads[i])
 
+    def iter_chunks(self, chunk_size, start=0, stop=None):
+        """Iterate ``(chunk_start, tails_view, heads_view)`` over
+        ``[start, stop)`` edge ids.
+
+        Chunks are zero-copy views of at most ``chunk_size`` edges, in
+        edge-id order — the unit the streaming exporters format and
+        write without materialising per-row tuples.
+        """
+        chunk_size = int(chunk_size)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        m = len(self)
+        start = int(start)
+        stop = m if stop is None else min(int(stop), m)
+        if not 0 <= start <= m:
+            raise IndexError(
+                f"ET {self.name!r}: start {start} out of range [0, {m}]"
+            )
+        for lo in range(start, stop, chunk_size):
+            hi = min(lo + chunk_size, stop)
+            yield lo, self.tails[lo:hi], self.heads[lo:hi]
+
     # -- degree and adjacency --------------------------------------------------
 
     def out_degrees(self):

@@ -112,6 +112,60 @@ class TestGenerate:
         )
         assert (out / "Person.jsonl").exists()
 
+    def test_graphml_format(self, tmp_path):
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        out = tmp_path / "o"
+        main(
+            [
+                "generate", str(schema_path),
+                "--format", "graphml", "--out", str(out),
+            ]
+        )
+        assert (out / "knows.graphml").exists()
+
+    def test_chunk_size_does_not_change_bytes(self, tmp_path):
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        default_out = tmp_path / "default"
+        chunked_out = tmp_path / "chunked"
+        main(["generate", str(schema_path), "--out", str(default_out)])
+        main(
+            [
+                "generate", str(schema_path),
+                "--chunk-size", "3", "--out", str(chunked_out),
+            ]
+        )
+        for name in ("Person.age.csv", "knows.csv"):
+            assert (default_out / name).read_bytes() == \
+                (chunked_out / name).read_bytes()
+
+    def test_compress_flag(self, tmp_path):
+        import gzip
+
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        plain_out = tmp_path / "plain"
+        gz_out = tmp_path / "gz"
+        main(["generate", str(schema_path), "--out", str(plain_out)])
+        main(
+            [
+                "generate", str(schema_path),
+                "--compress", "--out", str(gz_out),
+            ]
+        )
+        packed = (gz_out / "knows.csv.gz").read_bytes()
+        assert gzip.decompress(packed) == \
+            (plain_out / "knows.csv").read_bytes()
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        schema_path = tmp_path / "tiny.dsl"
+        schema_path.write_text(DSL)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", str(schema_path), "--chunk-size", "0"]
+            )
+
 
 class TestProtocol:
     def test_prints_cdf_table(self, capsys):

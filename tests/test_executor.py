@@ -2,7 +2,10 @@
 
 The acceptance bar: ``generate(workers=k)`` is bit-identical to the
 serial engine for every task kind — count, property, structure, match,
-edge_property — for ``k`` in {1, 2, 4}, across backends.
+edge_property — for ``k`` in {1, 2, 4}, across backends.  The
+determinism matrix at the bottom extends the contract to IO: streamed
+exports are byte-equal for every (workers, chunk_size, format)
+combination.
 """
 
 from __future__ import annotations
@@ -233,6 +236,99 @@ class TestSharding:
             for (_, stop), (start, _) in zip(ranges, ranges[1:]):
                 assert start == stop
             assert all(stop > start for start, stop in ranges)
+
+
+#: chunk sizes of the determinism matrix: a tiny chunk (many boundary
+#: crossings), a mid-size chunk, and one larger than any table (the
+#: whole-table degenerate case).
+EXPORT_CHUNK_SIZES = (7, 1000, 10**9)
+EXPORT_FORMATS = ("csv", "jsonl", "edgelist", "graphml")
+
+
+class TestExportDeterminismMatrix:
+    """workers {1,2,4} x chunk_size {7, 1000, whole-table}: streamed
+    exports of every format must be byte-equal to the serial
+    whole-table reference."""
+
+    @pytest.fixture(scope="class")
+    def reference_exports(self, social_serial, tmp_path_factory):
+        """Post-hoc export of the serial graph, one directory per
+        format, at whole-table chunk size."""
+        from repro.io import export_graph, make_sink
+
+        root = tmp_path_factory.mktemp("reference")
+        exports = {}
+        for fmt in EXPORT_FORMATS:
+            out = root / fmt
+            export_graph(
+                social_serial, make_sink(fmt, out, chunk_size=10**9)
+            )
+            exports[fmt] = out
+        return exports
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", EXPORT_CHUNK_SIZES)
+    def test_streamed_exports_byte_equal(
+        self, reference_exports, tmp_path, workers, chunk_size
+    ):
+        from repro.io import make_sink
+
+        schema = social_network_schema(num_countries=8)
+        sinks = {
+            fmt: make_sink(
+                fmt, tmp_path / fmt, chunk_size=chunk_size
+            )
+            for fmt in EXPORT_FORMATS
+        }
+        generator = GraphGenerator(
+            schema, {"Person": 400}, seed=23, workers=workers
+        )
+        for fmt, sink in sinks.items():
+            # Regenerate per format: each run must independently
+            # reproduce the reference bytes while streaming.
+            graph = generator.generate(sink=sink)
+            assert graph.num_nodes("Person") == 400
+            reference = reference_exports[fmt]
+            produced = {p.name for p in sink.written}
+            expected = {p.name for p in reference.iterdir()}
+            assert produced == expected, fmt
+            for path in sorted(reference.iterdir()):
+                assert (tmp_path / fmt / path.name).read_bytes() == \
+                    path.read_bytes(), (fmt, path.name)
+
+    @pytest.fixture(scope="class")
+    def compressed_reference(self, tmp_path_factory):
+        """Serial gzip export — the reference .gz bytes."""
+        from repro.io import make_sink
+
+        schema = social_network_schema(num_countries=8)
+        out = tmp_path_factory.mktemp("gzref")
+        sink = make_sink("csv", out, chunk_size=128, compress=True)
+        GraphGenerator(
+            schema, {"Person": 400}, seed=23
+        ).generate(sink=sink)
+        return {p.name: p.read_bytes() for p in sink.written}
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_compressed_exports_byte_equal_across_workers(
+        self, compressed_reference, tmp_path, workers
+    ):
+        """gzip output is deterministic too: identical .gz bytes for
+        every worker count."""
+        from repro.io import make_sink
+
+        schema = social_network_schema(num_countries=8)
+        sink = make_sink(
+            "csv", tmp_path / "out", chunk_size=128, compress=True
+        )
+        GraphGenerator(
+            schema, {"Person": 400}, seed=23, workers=workers
+        ).generate(sink=sink)
+        assert {p.name for p in sink.written} == \
+            set(compressed_reference)
+        for path in sink.written:
+            assert path.read_bytes() == \
+                compressed_reference[path.name], path.name
 
 
 class TestValidation:

@@ -354,6 +354,175 @@ class TestCsvRoundTripProperty:
         assert list(back.values) == [str(t) for t in texts]
 
 
+_ROUND_TRIP_TEXT = st.one_of(
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        max_size=12,
+    ),
+    # Adversarial formatting cases: delimiters, quotes, terminators.
+    st.sampled_from(
+        ["a,b", 'q"t', "nl\nx", "cr\rx", "", " pad ", "é中文", '"',
+         '""', ",", "\r\n"]
+    ),
+)
+
+_CHUNK_SIZES = st.sampled_from([1, 7, 1000])
+
+
+@st.composite
+def _property_values(draw, none_ok=False):
+    """A random PT value array over the supported dtypes: ints,
+    floats (NaN/inf included), bools, unicode, object strings (and
+    None when ``none_ok``) — empty arrays included."""
+    kind = draw(st.sampled_from(
+        ["int", "float", "bool", "unicode", "object"]
+    ))
+    n = draw(st.integers(min_value=0, max_value=25))
+    if kind == "int":
+        return np.array(
+            draw(st.lists(
+                st.integers(min_value=-2**62, max_value=2**62),
+                min_size=n, max_size=n,
+            )),
+            dtype=np.int64,
+        )
+    if kind == "float":
+        return np.array(
+            draw(st.lists(
+                st.floats(allow_nan=True, allow_infinity=True,
+                          width=64),
+                min_size=n, max_size=n,
+            )),
+            dtype=np.float64,
+        )
+    if kind == "bool":
+        return np.array(
+            draw(st.lists(st.booleans(), min_size=n, max_size=n)),
+            dtype=bool,
+        )
+    if kind == "unicode":
+        return np.array(
+            draw(st.lists(_ROUND_TRIP_TEXT, min_size=n, max_size=n)),
+            dtype="<U16",
+        )
+    element = (
+        st.one_of(st.none(), _ROUND_TRIP_TEXT)
+        if none_ok else _ROUND_TRIP_TEXT
+    )
+    return np.array(
+        draw(st.lists(element, min_size=n, max_size=n)), dtype=object
+    )
+
+
+def _assert_values_round_tripped(back, values):
+    assert back.dtype == values.dtype
+    if values.dtype.kind == "f":
+        assert np.array_equal(back, values, equal_nan=True)
+    else:
+        assert list(back) == list(values)
+
+
+class TestStreamingRoundTripProperties:
+    """write→read must be lossless for every dtype, every format,
+    every chunk size — including NaN, unicode, bools, None (JSONL)
+    and empty tables."""
+
+    @common_settings
+    @given(values=_property_values(), chunk_size=_CHUNK_SIZES)
+    def test_csv_property_table(self, values, chunk_size,
+                                tmp_path_factory):
+        from repro.io import read_property_table, write_property_table
+        from repro.tables import PropertyTable
+
+        directory = tmp_path_factory.mktemp("csv_rt")
+        table = PropertyTable("t", values)
+        path = write_property_table(
+            table, directory / "t.csv", chunk_size=chunk_size
+        )
+        back = read_property_table(
+            path, name="t", dtype=values.dtype,
+            chunk_size=chunk_size,
+        )
+        _assert_values_round_tripped(back.values, values)
+
+    @common_settings
+    @given(
+        values=_property_values(none_ok=True),
+        chunk_size=_CHUNK_SIZES,
+    )
+    def test_jsonl_property_table(self, values, chunk_size,
+                                  tmp_path_factory):
+        from repro.io import (
+            read_property_table_jsonl,
+            write_property_table_jsonl,
+        )
+        from repro.tables import PropertyTable
+
+        directory = tmp_path_factory.mktemp("jsonl_rt")
+        table = PropertyTable("t", values)
+        path = write_property_table_jsonl(
+            table, directory / "t.jsonl", chunk_size=chunk_size
+        )
+        back = read_property_table_jsonl(
+            path, name="t", dtype=values.dtype,
+            chunk_size=chunk_size,
+        )
+        _assert_values_round_tripped(back.values, values)
+
+    @common_settings
+    @given(
+        values=_property_values(),
+        fmt=st.sampled_from(["csv", "jsonl"]),
+        compress=st.booleans(),
+        chunk_size=_CHUNK_SIZES,
+    )
+    def test_sink_source_manifest_round_trip(
+        self, values, fmt, compress, chunk_size, tmp_path_factory
+    ):
+        """The manifest carries the dtype, so sources need no hints —
+        gzipped or not."""
+        from repro.io import make_sink, make_source
+        from repro.tables import PropertyTable
+
+        directory = tmp_path_factory.mktemp("sink_rt")
+        sink = make_sink(
+            fmt, directory, chunk_size=chunk_size, compress=compress
+        )
+        sink.write_property_table(PropertyTable("T.x", values))
+        sink.finish()
+        back = make_source(fmt, directory).read_property_table("T.x")
+        _assert_values_round_tripped(back.values, values)
+
+    @common_settings
+    @given(
+        m=st.integers(min_value=0, max_value=60),
+        n=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=10_000),
+        directed=st.booleans(),
+        fmt=st.sampled_from(["csv", "jsonl", "edgelist"]),
+        chunk_size=_CHUNK_SIZES,
+    )
+    def test_edge_table_round_trip(
+        self, m, n, seed, directed, fmt, chunk_size, tmp_path_factory
+    ):
+        from repro.io import make_sink, make_source
+
+        rng = np.random.default_rng(seed)
+        table = EdgeTable(
+            "e",
+            rng.integers(0, n, m).astype(np.int64),
+            rng.integers(0, n, m).astype(np.int64),
+            num_tail_nodes=n,
+            directed=directed,
+        )
+        directory = tmp_path_factory.mktemp("edge_rt")
+        sink = make_sink(fmt, directory, chunk_size=chunk_size)
+        sink.write_edge_table(table)
+        sink.finish()
+        back = make_source(fmt, directory).read_edge_table("e")
+        assert back == table
+
+
 class TestMixingMatrixProperty:
     @common_settings
     @given(

@@ -1,0 +1,476 @@
+"""Tests for the streaming GraphSink/GraphSource IO layer.
+
+Three contracts:
+
+* **byte-identity** — the vectorised chunk formatters reproduce the
+  stdlib writers (``csv.writer``, ``json.dumps``,
+  ``xml.sax.saxutils.escape``) byte for byte, for any chunk size and
+  with gzip compression;
+* **round trips** — manifest-carrying sinks/sources restore every
+  supported dtype exactly, including bool, unicode, datetime and
+  empty tables;
+* **streaming protocol** — engine-driven sinks produce the same bytes
+  as post-hoc ``export_graph``.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+import json
+from xml.sax.saxutils import escape
+
+import numpy as np
+import pytest
+
+from repro.core import GraphGenerator
+from repro.datasets import social_network_schema
+from repro.io import (
+    CsvSink,
+    CsvSource,
+    EdgelistSink,
+    EdgelistSource,
+    GraphmlSink,
+    JsonlSink,
+    JsonlSource,
+    export_graph,
+    make_sink,
+    make_source,
+    open_text,
+)
+from repro.io.chunks import (
+    csv_quote_column,
+    format_json_records_chunk,
+    json_encode_column,
+    parse_typed_column,
+    stringify_column,
+    xml_escape_column,
+)
+from repro.tables import EdgeTable, PropertyTable
+
+TRICKY_STRINGS = [
+    "plain",
+    "comma,inside",
+    'quote"inside',
+    "new\nline",
+    "carriage\rreturn",
+    "both\r\nends",
+    "",
+    " leading space",
+    "trailing space ",
+    "unicode éß中文",
+    "tab\tseparated",
+    "&<>xml'chars\"",
+    '"quoted"',
+    ",",
+    '"',
+]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    schema = social_network_schema(num_countries=6)
+    return GraphGenerator(schema, {"Person": 90}, seed=5).generate()
+
+
+def legacy_csv_property_bytes(table):
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["id", "value"])
+    for row_id, value in table.rows():
+        writer.writerow([row_id, value])
+    return buf.getvalue()
+
+
+def legacy_csv_edge_bytes(table):
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["id", "tailId", "headId"])
+    for edge_id, tail, head in table.rows():
+        writer.writerow([edge_id, tail, head])
+    return buf.getvalue()
+
+
+def read_text(path):
+    with open_text(path, "r") as handle:
+        return handle.read()
+
+
+class TestChunkPrimitives:
+    def test_csv_quote_matches_csv_writer(self):
+        # Two-field rows: a lone empty field is the one case where
+        # csv.writer quotes beyond QUOTE_MINIMAL (to disambiguate an
+        # empty row), and table rows always carry the id field first.
+        fields = np.asarray(TRICKY_STRINGS, dtype=str)
+        quoted = csv_quote_column(fields)
+        for raw, mine in zip(TRICKY_STRINGS, quoted):
+            buf = io.StringIO()
+            csv.writer(buf).writerow([0, raw])
+            assert "0," + str(mine) + "\r\n" == buf.getvalue(), raw
+
+    def test_stringify_matches_str(self):
+        arrays = [
+            np.array([0, -7, 2**62], dtype=np.int64),
+            np.array([1.5, -0.0, 1e300, 1e-300, np.nan, np.inf]),
+            np.array([True, False]),
+            np.array(["2020-01-01", "1970-12-31"],
+                     dtype="datetime64[D]"),
+            np.array(TRICKY_STRINGS, dtype=object),
+        ]
+        for values in arrays:
+            out = stringify_column(values)
+            expected = [str(v) for v in values]
+            assert list(out) == expected, values.dtype
+
+    def test_stringify_none_becomes_empty_field(self):
+        out = stringify_column(np.array(["a", None], dtype=object))
+        assert list(out) == ["a", ""]
+
+    def test_json_encode_matches_json_dumps(self):
+        arrays = [
+            np.array([0, -7, 2**62], dtype=np.int64),
+            np.array([1.5, -0.0, 1e300, 1e-300, 0.1]),
+            np.array([np.nan, np.inf, -np.inf, 2.5]),
+            np.array([True, False]),
+            np.array(TRICKY_STRINGS, dtype=object),
+            np.array(TRICKY_STRINGS, dtype=str),
+        ]
+        for values in arrays:
+            out = json_encode_column(values)
+            for raw, mine in zip(values.tolist(), out):
+                assert str(mine) == json.dumps(raw), raw
+
+    def test_json_records_chunk_matches_json_dumps(self):
+        ids = np.array([4, 5], dtype=np.int64)
+        names = np.array(["a,b", 'c"d'], dtype=object)
+        text = format_json_records_chunk(
+            ["id", "name"],
+            [json_encode_column(ids), json_encode_column(names)],
+        )
+        expected = "".join(
+            json.dumps({"id": int(i), "name": str(n)}) + "\n"
+            for i, n in zip(ids, names)
+        )
+        assert text == expected
+
+    def test_xml_escape_matches_saxutils(self):
+        out = xml_escape_column(np.asarray(TRICKY_STRINGS, dtype=str))
+        assert list(out) == [escape(s) for s in TRICKY_STRINGS]
+
+    def test_parse_typed_column_inverts_stringify(self):
+        arrays = [
+            np.array([3, -9], dtype=np.int64),
+            np.array([1.5, np.nan, np.inf, -np.inf]),
+            np.array([True, False, True]),
+            np.array(["x", "y z"], dtype="<U3"),
+            np.array(["2020-01-01"], dtype="datetime64[D]"),
+        ]
+        for values in arrays:
+            strings = stringify_column(values)
+            back = parse_typed_column(strings, values.dtype)
+            assert back.dtype == values.dtype
+            assert np.array_equal(back, values, equal_nan=(
+                values.dtype.kind == "f"
+            ))
+
+
+class TestByteIdentityAgainstStdlib:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 10_000])
+    def test_property_csv(self, tmp_path, chunk_size):
+        from repro.io import write_property_table
+
+        tables = [
+            PropertyTable("t", np.array(TRICKY_STRINGS, dtype=object)),
+            PropertyTable("t", np.array([1.5, np.nan, -0.0, 1e300])),
+            PropertyTable("t", np.array([True, False])),
+            PropertyTable("t", np.arange(23, dtype=np.int64)),
+            PropertyTable("t", np.array([], dtype=np.int64)),
+        ]
+        for i, table in enumerate(tables):
+            path = write_property_table(
+                table, tmp_path / f"t{i}.csv", chunk_size=chunk_size
+            )
+            assert read_text(path) == legacy_csv_property_bytes(table)
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 10_000])
+    def test_edge_csv(self, tmp_path, chunk_size):
+        from repro.io import write_edge_table
+
+        table = EdgeTable(
+            "e", [0, 3, 1, 2], [1, 2, 0, 3], num_tail_nodes=4
+        )
+        path = write_edge_table(
+            table, tmp_path / "e.csv", chunk_size=chunk_size
+        )
+        assert read_text(path) == legacy_csv_edge_bytes(table)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 10_000])
+    def test_jsonl_records(self, graph, tmp_path, chunk_size):
+        from repro.io import write_edges_jsonl, write_nodes_jsonl
+
+        path = write_nodes_jsonl(
+            graph, "Person", tmp_path / "p.jsonl",
+            chunk_size=chunk_size,
+        )
+        lines = read_text(path).splitlines()
+        assert len(lines) == graph.num_nodes("Person")
+        for i, (line, record) in enumerate(
+            zip(lines, graph.node_records("Person"))
+        ):
+            expected = json.dumps({
+                k: (int(v) if isinstance(v, np.integer) else
+                    str(v) if isinstance(v, np.str_) else v)
+                for k, v in record.items()
+            })
+            assert line == expected, i
+
+        path = write_edges_jsonl(
+            graph, "knows", tmp_path / "k.jsonl",
+            chunk_size=chunk_size,
+        )
+        lines = read_text(path).splitlines()
+        assert len(lines) == graph.num_edges("knows")
+
+    def test_graphml_chunk_invariance(self, graph, tmp_path):
+        from repro.io import write_graphml
+
+        reference = write_graphml(
+            graph, "knows", tmp_path / "whole.graphml",
+            chunk_size=10**9,
+        )
+        chunked = write_graphml(
+            graph, "knows", tmp_path / "chunked.graphml",
+            chunk_size=3,
+        )
+        assert chunked.read_bytes() == reference.read_bytes()
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl", "edgelist"])
+    def test_chunk_size_never_changes_bytes(self, graph, tmp_path,
+                                            fmt):
+        baseline = export_graph(
+            graph, make_sink(fmt, tmp_path / "whole",
+                             chunk_size=10**9)
+        )
+        for chunk_size in (1, 7, 64):
+            out = tmp_path / f"c{chunk_size}"
+            export_graph(
+                graph, make_sink(fmt, out, chunk_size=chunk_size)
+            )
+            for path in baseline:
+                assert (out / path.name).read_bytes() == \
+                    path.read_bytes(), (fmt, chunk_size, path.name)
+
+
+class TestGzip:
+    def test_deterministic_bytes(self, tmp_path):
+        table = PropertyTable("t", np.arange(100, dtype=np.int64))
+        sink_a = CsvSink(tmp_path / "a", compress=True)
+        sink_b = CsvSink(tmp_path / "b", compress=True)
+        path_a = sink_a.write_property_table(table)
+        path_b = sink_b.write_property_table(table)
+        assert path_a.name == "t.csv.gz"
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_gz_content_equals_uncompressed(self, graph, tmp_path):
+        plain = export_graph(
+            graph, CsvSink(tmp_path / "plain", chunk_size=13)
+        )
+        export_graph(
+            graph,
+            CsvSink(tmp_path / "gz", chunk_size=13, compress=True),
+        )
+        for path in plain:
+            if path.name == "manifest.json":
+                continue
+            packed = tmp_path / "gz" / (path.name + ".gz")
+            assert gzip.decompress(packed.read_bytes()) == \
+                path.read_bytes()
+
+    def test_sources_read_compressed(self, graph, tmp_path):
+        export_graph(
+            graph, CsvSink(tmp_path / "out", compress=True)
+        )
+        source = CsvSource(tmp_path / "out")
+        pt = source.read_property_table("Person.country")
+        assert pt == graph.node_properties["Person.country"]
+
+
+class TestManifestRoundTrip:
+    CASES = [
+        np.array([5, -2, 0], dtype=np.int64),
+        np.array([1.5, np.nan, np.inf], dtype=np.float64),
+        np.array([True, False, True]),
+        np.array(["a", "bb é", ""], dtype="<U8"),
+        np.array(TRICKY_STRINGS, dtype=object),
+        np.array(["2020-01-01", "1999-12-31"], dtype="datetime64[D]"),
+        np.array([], dtype=np.float64),
+        np.array([], dtype=object),
+    ]
+
+    @pytest.mark.parametrize("values", CASES,
+                             ids=lambda v: f"{v.dtype}-{len(v)}")
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    def test_property_dtype_preserved(self, tmp_path, fmt, values):
+        table = PropertyTable("T.x", values)
+        sink = make_sink(fmt, tmp_path / fmt, chunk_size=2)
+        sink.write_property_table(table)
+        sink.finish()
+        back = make_source(fmt, tmp_path / fmt).read_property_table(
+            "T.x"
+        )
+        assert back.values.dtype == values.dtype
+        if values.dtype.kind == "f":
+            assert np.array_equal(back.values, values, equal_nan=True)
+        else:
+            assert list(back.values) == list(values)
+
+    def test_jsonl_preserves_none(self, tmp_path):
+        table = PropertyTable(
+            "T.x", np.array(["a", None, ""], dtype=object)
+        )
+        sink = JsonlSink(tmp_path / "o")
+        sink.write_property_table(table)
+        sink.finish()
+        back = JsonlSource(tmp_path / "o").read_property_table("T.x")
+        assert list(back.values) == ["a", None, ""]
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl", "edgelist"])
+    def test_edge_table_exact(self, tmp_path, fmt):
+        table = EdgeTable(
+            "likes", [0, 2, 1], [3, 1, 0],
+            num_tail_nodes=5, num_head_nodes=7, directed=True,
+        )
+        sink = make_sink(fmt, tmp_path / fmt, chunk_size=2)
+        sink.write_edge_table(table)
+        sink.finish()
+        back = make_source(fmt, tmp_path / fmt).read_edge_table(
+            "likes"
+        )
+        assert back == table
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl", "edgelist"])
+    def test_empty_edge_table(self, tmp_path, fmt):
+        table = EdgeTable("e", [], [])
+        sink = make_sink(fmt, tmp_path / fmt)
+        sink.write_edge_table(table)
+        sink.finish()
+        back = make_source(fmt, tmp_path / fmt).read_edge_table("e")
+        assert back == table
+
+    def test_whole_graph_tables(self, graph, tmp_path):
+        export_graph(graph, CsvSink(tmp_path / "out", chunk_size=17))
+        source = CsvSource(tmp_path / "out")
+        properties = source.property_tables()
+        edges = source.edge_tables()
+        for key, pt in graph.node_properties.items():
+            assert properties[key].values.dtype == pt.values.dtype
+            assert list(properties[key].values) == list(pt.values)
+        for key, et in graph.edge_tables.items():
+            back = edges[key]
+            assert np.array_equal(back.tails, et.tails)
+            assert np.array_equal(back.heads, et.heads)
+            assert back.num_tail_nodes == et.num_tail_nodes
+            assert back.num_head_nodes == et.num_head_nodes
+            assert back.directed == et.directed
+
+
+class TestStreamingProtocol:
+    @pytest.mark.parametrize("fmt",
+                             ["csv", "jsonl", "edgelist", "graphml"])
+    def test_engine_streamed_equals_post_hoc(self, tmp_path, fmt):
+        schema = social_network_schema(num_countries=6)
+        reference_graph = GraphGenerator(
+            schema, {"Person": 80}, seed=3
+        ).generate()
+        baseline = export_graph(
+            reference_graph,
+            make_sink(fmt, tmp_path / "post", chunk_size=19),
+        )
+        sink = make_sink(fmt, tmp_path / "streamed", chunk_size=19)
+        GraphGenerator(schema, {"Person": 80}, seed=3).generate(
+            sink=sink
+        )
+        assert sorted(p.name for p in sink.written) == \
+            sorted(p.name for p in baseline)
+        for path in baseline:
+            streamed = tmp_path / "streamed" / path.name
+            assert streamed.read_bytes() == path.read_bytes(), \
+                path.name
+
+    def test_jsonl_sink_flushes_incrementally(self, tmp_path):
+        """Record files appear as soon as their last table lands, not
+        at finish()."""
+        schema = social_network_schema(num_countries=6)
+        sink = JsonlSink(tmp_path / "o")
+        flushed = []
+        original = sink._flush_node_type
+
+        def spy(type_name):
+            flushed.append(type_name)
+            return original(type_name)
+
+        sink._flush_node_type = spy
+        GraphGenerator(schema, {"Person": 40}, seed=1).generate(
+            sink=sink
+        )
+        assert "Person" in flushed
+
+    def test_jsonl_finish_skips_incomplete_types(self, tmp_path):
+        """finish() on a partial graph must skip types whose property
+        tables are missing, not crash."""
+        schema = social_network_schema(num_countries=6)
+        graph = GraphGenerator(
+            schema, {"Person": 30}, seed=2
+        ).generate()
+        del graph.node_properties["Person.country"]
+        del graph.edge_properties["knows.creationDate"]
+        sink = JsonlSink(tmp_path / "o")
+        sink.begin(graph)
+        written = sink.finish()
+        names = {p.name for p in written}
+        assert "Person.jsonl" not in names
+        assert "knows.jsonl" not in names
+        assert "Message.jsonl" in names
+        assert "creates.jsonl" in names
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown sink format"):
+            make_sink("parquet", tmp_path)
+        with pytest.raises(ValueError, match="no source"):
+            make_source("graphml", tmp_path)
+
+    def test_edgelist_sink_rejects_property_tables(self, tmp_path):
+        sink = EdgelistSink(tmp_path)
+        with pytest.raises(NotImplementedError):
+            sink.write_property_table(
+                PropertyTable("t", np.array([1]))
+            )
+
+    def test_bad_chunk_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="chunk_size"):
+            CsvSink(tmp_path, chunk_size=0)
+
+    def test_graphml_sink_writes_monopartite_only(self, graph,
+                                                  tmp_path):
+        written = export_graph(graph, GraphmlSink(tmp_path / "o"))
+        names = {p.name for p in written}
+        assert "knows.graphml" in names
+        assert "creates.graphml" not in names
+
+
+class TestSourceFallbacks:
+    def test_csv_source_without_manifest(self, tmp_path):
+        from repro.io import write_property_table
+
+        table = PropertyTable("t", np.arange(5, dtype=np.int64))
+        write_property_table(table, tmp_path / "t.csv")
+        source = CsvSource(tmp_path)
+        assert source.manifest is None
+        back = source.read_property_table("t")
+        assert np.array_equal(back.values, table.values)
+
+    def test_missing_table_raises(self, tmp_path):
+        source = EdgelistSource(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            source.read_edge_table("ghost")

@@ -147,3 +147,33 @@ class TestTransformations:
     def test_head_rows(self, triangle_table):
         rows = triangle_table.head_rows(2)
         assert rows == [(0, 0, 1), (1, 1, 2)]
+
+
+class TestIterChunks:
+    def test_covers_table_in_order(self):
+        table = EdgeTable(
+            "e", np.arange(7), np.arange(7)[::-1].copy(),
+            num_tail_nodes=7,
+        )
+        chunks = list(table.iter_chunks(3))
+        assert [start for start, _, _ in chunks] == [0, 3, 6]
+        assert np.array_equal(
+            np.concatenate([t for _, t, _ in chunks]), table.tails
+        )
+        assert np.array_equal(
+            np.concatenate([h for _, _, h in chunks]), table.heads
+        )
+
+    def test_chunks_are_views(self):
+        table = EdgeTable("e", [0, 1, 2], [1, 2, 0], num_tail_nodes=3)
+        _, tails, _ = next(iter(table.iter_chunks(2)))
+        assert tails.base is table.tails
+
+    def test_empty_table_yields_nothing(self):
+        table = EdgeTable("e", [], [])
+        assert list(table.iter_chunks(4)) == []
+
+    def test_rejects_bad_chunk_size(self):
+        table = EdgeTable("e", [0], [0], num_tail_nodes=1)
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(table.iter_chunks(0))

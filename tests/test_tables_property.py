@@ -103,3 +103,40 @@ class TestRemap:
         pt = PropertyTable("x", [1])
         with pytest.raises(IndexError):
             pt.remap([0, 1])
+
+
+class TestIterChunks:
+    def test_covers_table_in_order(self):
+        pt = PropertyTable("x", np.arange(10))
+        chunks = list(pt.iter_chunks(3))
+        assert [start for start, _ in chunks] == [0, 3, 6, 9]
+        assert np.array_equal(
+            np.concatenate([c for _, c in chunks]), pt.values
+        )
+
+    def test_chunks_are_views(self):
+        pt = PropertyTable("x", np.arange(8))
+        _, chunk = next(iter(pt.iter_chunks(4)))
+        assert chunk.base is pt.values
+
+    def test_range_restriction(self):
+        pt = PropertyTable("x", np.arange(10))
+        chunks = list(pt.iter_chunks(4, start=2, stop=9))
+        assert chunks[0][0] == 2
+        assert np.array_equal(
+            np.concatenate([c for _, c in chunks]), np.arange(2, 9)
+        )
+
+    def test_empty_table_yields_nothing(self):
+        pt = PropertyTable("x", np.array([], dtype=np.int64))
+        assert list(pt.iter_chunks(5)) == []
+
+    def test_rejects_bad_chunk_size(self):
+        pt = PropertyTable("x", np.arange(3))
+        with pytest.raises(ValueError, match="chunk_size"):
+            list(pt.iter_chunks(0))
+
+    def test_rejects_bad_start(self):
+        pt = PropertyTable("x", np.arange(3))
+        with pytest.raises(IndexError):
+            list(pt.iter_chunks(2, start=7))
