@@ -1,0 +1,91 @@
+"""Compare a fresh benchmark JSON against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py FRESH.json BASELINE.json
+
+Exits non-zero when any row present in both files regressed by more
+than the allowed factor (default 2x).  The primary gate is
+``speedup_vs_legacy``: both the kernel and the frozen legacy loop run
+on the same machine in the same process, so their ratio is
+machine-neutral — CI runners of very different speeds still produce
+comparable numbers.  Raw ``rows_per_sec`` is reported for context but
+only warns, since absolute throughput varies with the runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GATE_FIELD = "speedup_vs_legacy"
+WARN_FIELD = "rows_per_sec"
+
+
+def load_rows(path):
+    payload = json.loads(Path(path).read_text())
+    return {row["name"]: row for row in payload.get("rows", [])}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly generated bench JSON")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="fail when baseline/fresh exceeds this factor "
+        "(default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_rows(args.fresh)
+    baseline = load_rows(args.baseline)
+    shared = sorted(set(fresh) & set(baseline))
+    if not shared:
+        print("error: no shared benchmark rows between the two files")
+        return 2
+
+    failures = []
+    for name in shared:
+        fresh_row, base_row = fresh[name], baseline[name]
+        for field, fatal in ((GATE_FIELD, True), (WARN_FIELD, False)):
+            if field not in fresh_row or field not in base_row:
+                continue
+            new = float(fresh_row[field])
+            old = float(base_row[field])
+            if new <= 0:
+                ratio = float("inf")
+            else:
+                ratio = old / new
+            status = "ok"
+            if ratio > args.max_regression:
+                status = "FAIL" if fatal else "warn"
+                if fatal:
+                    failures.append((name, field, old, new, ratio))
+            print(
+                f"{status:4s} {name:32s} {field}: "
+                f"baseline={old:.2f} fresh={new:.2f} "
+                f"(x{ratio:.2f} slower)"
+                if ratio > 1
+                else f"{status:4s} {name:32s} {field}: "
+                f"baseline={old:.2f} fresh={new:.2f} "
+                f"(x{1 / max(ratio, 1e-9):.2f} faster)"
+            )
+
+    if failures:
+        print(
+            f"\n{len(failures)} gated regression(s) beyond "
+            f"{args.max_regression}x:"
+        )
+        for name, field, old, new, ratio in failures:
+            print(f"  {name} {field}: {old:.2f} -> {new:.2f}")
+        return 1
+    print(f"\nall {len(shared)} shared rows within "
+          f"{args.max_regression}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

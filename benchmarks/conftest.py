@@ -5,13 +5,91 @@ Every benchmark prints the table/figure rows it reproduces (run with
 headline numbers in ``benchmark.extra_info`` so they survive into the
 pytest-benchmark JSON output.
 
+Perf-trajectory emission: pass ``--json-out PATH`` and every benchmark
+that calls the ``bench_recorder`` fixture lands its rows (rows/sec,
+speedup vs the frozen legacy loops, peak tracemalloc) in one JSON file.
+The committed baselines at the repository root are produced exactly
+this way::
+
+    pytest benchmarks/bench_ablation_matchers.py -q -s \
+        --json-out BENCH_matching.json
+    pytest benchmarks/bench_structure_zoo.py -q -s \
+        --json-out BENCH_structure.json
+
+CI's perf-smoke job regenerates the matching file and fails on a >2x
+regression against the committed baseline
+(``benchmarks/check_perf_regression.py``).
+
 Scale: benchmarks honour the ``REPRO_SCALE`` env profile ("small"
 default, "medium", "paper") — see ``repro.experiments.scale``.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
+from pathlib import Path
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json-out",
+        action="store",
+        default=None,
+        help=(
+            "write benchmark rows recorded via the bench_recorder "
+            "fixture to this JSON file"
+        ),
+    )
+
+
+class BenchRecorder:
+    """Collects benchmark rows for the --json-out emission."""
+
+    def __init__(self):
+        self.rows = []
+
+    def record(self, suite, name, **fields):
+        """Record one benchmark result row.
+
+        Conventional fields: ``rows_per_sec`` (nodes or edges per
+        second through the hot loop), ``speedup_vs_legacy`` (same
+        instance through the frozen legacy implementation) and
+        ``tracemalloc_peak_mb``.
+        """
+        row = {"suite": suite, "name": name}
+        row.update(fields)
+        self.rows.append(row)
+        return row
+
+
+_RECORDER = BenchRecorder()
+
+
+@pytest.fixture(scope="session")
+def bench_recorder():
+    return _RECORDER
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out = session.config.getoption("--json-out")
+    if not out or not _RECORDER.rows:
+        return
+    from repro.experiments import profile_name
+
+    payload = {
+        "schema": "repro-bench/1",
+        "profile": profile_name(),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "rows": _RECORDER.rows,
+    }
+    path = Path(out)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench] wrote {len(_RECORDER.rows)} rows to {path}")
 
 
 def print_table(title, rows):

@@ -48,6 +48,7 @@ from .tasks import (
     generate_structure,
     match_edge,
     match_inputs,
+    match_prepare,
     node_property_inputs,
     property_shard_values,
     resolve_count,
@@ -244,6 +245,17 @@ class ParallelExecutor:
                     result.node_counts,
                 )
                 future = pool.submit(generate_structure, spec, sg_seed, n)
+                pending[future] = (task, None)
+                return
+            if task.kind == "match_prepare":
+                # Pure function of (seed, edge, structure): runs in a
+                # worker as soon as the structure lands, overlapping
+                # stream precomputation (CSR, arrival permutation,
+                # counts tables) with the rest of the DAG.
+                future = pool.submit(
+                    match_prepare,
+                    self.seed, task.subject, structures[task.subject],
+                )
                 pending[future] = (task, None)
                 return
             if task.kind == "match":

@@ -9,6 +9,13 @@ Both sides stream together (interleaved by the arrival order over the
 union of node ids); the target is the (k_tail, k_head) edge-count matrix
 ``m P(X, Y)`` and placing a node only perturbs one row (tail side) or
 one column (head side) of the current-count matrix.
+
+The interleaved loop runs on the shared streaming-placement kernel
+(:mod:`repro.core.matching.kernel`), which maintains
+``current - target`` incrementally per touched row/column and reads
+placed-neighbour counts from per-side streaming counts matrices; the
+original loop is preserved in :mod:`repro.core.matching.legacy` and
+pinned byte-for-byte by ``tests/golden/matching/``.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .kernel import bipartite_stream
 from .sbm_part import _mapping_from_assignment
 from .targets import bipartite_edge_count_target
 
@@ -39,22 +47,6 @@ class BipartiteMatchResult:
         return float(
             np.linalg.norm(self.achieved - self.target, ord="fro")
         )
-
-
-def _bipartite_adjacency(table):
-    """CSR adjacency for both sides of a bipartite table."""
-    nt, nh = table.num_tail_nodes, table.num_head_nodes
-    # Tail -> heads
-    order_t = np.argsort(table.tails, kind="stable")
-    t_indptr = np.zeros(nt + 1, dtype=np.int64)
-    np.cumsum(np.bincount(table.tails, minlength=nt), out=t_indptr[1:])
-    t_neighbors = table.heads[order_t]
-    # Head -> tails
-    order_h = np.argsort(table.heads, kind="stable")
-    h_indptr = np.zeros(nh + 1, dtype=np.int64)
-    np.cumsum(np.bincount(table.heads, minlength=nh), out=h_indptr[1:])
-    h_neighbors = table.tails[order_h]
-    return (t_indptr, t_neighbors), (h_indptr, h_neighbors)
 
 
 def bipartite_sbm_part_match(
@@ -95,90 +87,14 @@ def bipartite_sbm_part_match(
     if len(tail_ptable) < nt or len(head_ptable) < nh:
         raise ValueError("property tables smaller than the structure sides")
 
-    if order is None:
-        order = np.arange(nt + nh, dtype=np.int64)
-    else:
-        order = np.asarray(order, dtype=np.int64)
-        if order.size != nt + nh:
-            raise ValueError("order must enumerate all tail+head nodes")
-
-    (t_indptr, t_neighbors), (h_indptr, h_neighbors) = \
-        _bipartite_adjacency(table)
-
-    tail_assign = np.full(nt, -1, dtype=np.int64)
-    head_assign = np.full(nh, -1, dtype=np.int64)
-    tail_loads = np.zeros(kt, dtype=np.int64)
-    head_loads = np.zeros(kh, dtype=np.int64)
-    current = np.zeros((kt, kh), dtype=np.float64)
-
-    for combined in order:
-        if combined < nt:
-            v = int(combined)
-            nbrs = t_neighbors[t_indptr[v]:t_indptr[v + 1]]
-            placed = head_assign[nbrs]
-            placed = placed[placed >= 0]
-            counts = np.zeros(kh, dtype=np.float64)
-            if placed.size:
-                np.add.at(counts, placed, 1.0)
-            diff = current - target
-            # Placing v in tail group t adds `counts` to row t.
-            delta = (
-                2.0 * (diff * counts[np.newaxis, :]).sum(axis=1)
-                + (counts * counts).sum()
-            )
-            gain = -delta
-            if capacity_weighting:
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    weight = np.where(
-                        tail_sizes > 0, 1.0 - tail_loads / tail_sizes, 0.0
-                    )
-                score = gain * weight
-            else:
-                score = gain
-            score = np.where(tail_loads >= tail_sizes, -np.inf, score)
-            best = float(score.max())
-            if not np.isfinite(best):
-                raise RuntimeError("tail group capacities exhausted")
-            ties = np.flatnonzero(score >= best - 1e-12)
-            remaining = (tail_sizes - tail_loads)[ties]
-            choice = int(ties[np.argmax(remaining)])
-            tail_assign[v] = choice
-            tail_loads[choice] += 1
-            if counts.any():
-                current[choice, :] += counts
-        else:
-            v = int(combined - nt)
-            nbrs = h_neighbors[h_indptr[v]:h_indptr[v + 1]]
-            placed = tail_assign[nbrs]
-            placed = placed[placed >= 0]
-            counts = np.zeros(kt, dtype=np.float64)
-            if placed.size:
-                np.add.at(counts, placed, 1.0)
-            diff = current - target
-            delta = (
-                2.0 * (diff * counts[:, np.newaxis]).sum(axis=0)
-                + (counts * counts).sum()
-            )
-            gain = -delta
-            if capacity_weighting:
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    weight = np.where(
-                        head_sizes > 0, 1.0 - head_loads / head_sizes, 0.0
-                    )
-                score = gain * weight
-            else:
-                score = gain
-            score = np.where(head_loads >= head_sizes, -np.inf, score)
-            best = float(score.max())
-            if not np.isfinite(best):
-                raise RuntimeError("head group capacities exhausted")
-            ties = np.flatnonzero(score >= best - 1e-12)
-            remaining = (head_sizes - head_loads)[ties]
-            choice = int(ties[np.argmax(remaining)])
-            head_assign[v] = choice
-            head_loads[choice] += 1
-            if counts.any():
-                current[:, choice] += counts
+    tail_assign, head_assign = bipartite_stream(
+        table,
+        tail_sizes,
+        head_sizes,
+        target,
+        order=order,
+        capacity_weighting=capacity_weighting,
+    )
 
     tail_mapping = _mapping_from_assignment(tail_assign, tail_codes)
     head_mapping = _mapping_from_assignment(head_assign, head_codes)

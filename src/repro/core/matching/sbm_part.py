@@ -34,6 +34,14 @@ exercised by the ablation benchmarks):
   matrix worse) multiplying by a small remaining-capacity factor would
   *favour* nearly-full groups, so negative gains are divided by the
   factor instead, keeping the balancing direction uniform.
+
+The per-node loop itself lives in the shared streaming-placement
+kernel (:mod:`repro.core.matching.kernel`), which maintains
+``current - target`` incrementally and scores candidates in O(k·deg)
+per node instead of the original O(k^2); the original loop is kept
+verbatim in :mod:`repro.core.matching.legacy` and the kernel's
+assignments are pinned byte-for-byte against it by
+``tests/golden/matching/``.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .kernel import sbm_part_stream
 from .targets import edge_count_target
 
 __all__ = ["SbmPartResult", "sbm_part_assign", "sbm_part_match"]
@@ -84,6 +93,8 @@ def sbm_part_assign(
     tie_stream=None,
     cold_start="proportional",
     negative_gain="divide",
+    impl="auto",
+    prep=None,
 ):
     """Core streaming assignment loop.
 
@@ -114,147 +125,31 @@ def sbm_part_assign(
         balancing of negative Frobenius gains: "divide" (default —
         keeps the balancing direction uniform) or "multiply" (literal
         application of the LDG factor); same ablation bench.
+    impl:
+        kernel implementation: "auto" (default — compiled C when a
+        system compiler is available, else numpy), "numpy" or "c".
+    prep:
+        optional precomputed
+        :class:`~repro.core.matching.kernel.MatchPrep` for this
+        ``(table, order)`` pair (the executor's ``match_prepare`` task
+        builds one in a worker).
 
     Returns
     -------
     (n,) int64 group label per node.
     """
-    group_sizes = np.asarray(group_sizes, dtype=np.int64)
-    if group_sizes.ndim != 1 or group_sizes.size == 0:
-        raise ValueError("group_sizes must be a non-empty 1-D array")
-    if (group_sizes < 0).any():
-        raise ValueError("group sizes must be nonnegative")
-    n = table.num_nodes
-    if int(group_sizes.sum()) < n:
-        raise ValueError(
-            f"group sizes sum to {int(group_sizes.sum())} < n = {n}"
-        )
-    k = group_sizes.size
-    target = np.asarray(target, dtype=np.float64)
-    if target.shape != (k, k):
-        raise ValueError(
-            f"target must be ({k}, {k}), got {target.shape}"
-        )
-
-    if order is None:
-        order = np.arange(n, dtype=np.int64)
-    else:
-        order = np.asarray(order, dtype=np.int64)
-        if order.size != n:
-            raise ValueError("order must enumerate all n nodes")
-    if tie_stream is None:
-        from ...prng import RandomStream
-
-        tie_stream = RandomStream(0, "sbm-part.coldstart")
-
-    indptr, neighbors, _ = table.adjacency_csr()
-    assignment = np.full(n, -1, dtype=np.int64)
-    loads = np.zeros(k, dtype=np.int64)
-    current = np.zeros((k, k), dtype=np.float64)
-    caps = group_sizes.astype(np.float64)
-    counts = np.zeros(k, dtype=np.float64)
-
-    for step, v in enumerate(order):
-        nbrs = neighbors[indptr[v]:indptr[v + 1]]
-        placed = assignment[nbrs]
-        placed = placed[placed >= 0]
-        counts[:] = 0.0
-        if placed.size:
-            np.add.at(counts, placed, 1.0)
-
-        if not counts.any():
-            # Cold start: no placed neighbours means every group has
-            # identical (zero) Frobenius delta.  Default: spread such
-            # nodes proportionally to remaining capacity — a
-            # deterministic draw from the tie stream — instead of
-            # dumping them all into the largest group.
-            remaining = np.maximum(caps - loads, 0.0)
-            total = remaining.sum()
-            if total <= 0:
-                raise RuntimeError(
-                    "group capacities exhausted mid-stream"
-                )
-            if cold_start == "proportional":
-                u = float(tie_stream.uniform(np.int64(step)))
-                cdf = np.cumsum(remaining / total)
-                choice = int(np.searchsorted(cdf, u, side="right"))
-            elif cold_start == "greedy":
-                choice = int(np.argmax(remaining))
-            else:
-                raise ValueError(
-                    f"unknown cold_start {cold_start!r}"
-                )
-            assignment[v] = choice
-            loads[choice] += 1
-            continue
-
-        # Frobenius delta of placing v in each candidate group t.
-        # Off-diagonal entries (t, j), j != t change by c_j in both
-        # symmetric slots; the diagonal (t, t) changes by c_t once.
-        # delta_t = sum_{j != t} 2 [2 c_j (C[t,j] - T[t,j]) + c_j^2]
-        #           + 2 c_t (C[t,t] - T[t,t]) + c_t^2
-        diff = current - target
-        cross = diff * counts[np.newaxis, :]  # (t, j) -> (C-T)[t,j] c_j
-        sq = counts * counts
-        row_term = 2.0 * (2.0 * cross.sum(axis=1) + sq.sum())
-        diag_idx = np.arange(k)
-        diag_term = (
-            2.0 * diff[diag_idx, diag_idx] * counts + sq
-        )
-        delta = row_term - 2.0 * (2.0 * cross[diag_idx, diag_idx] + sq) \
-            + diag_term
-        # (The row_term counted the diagonal entry as if off-diagonal;
-        # subtract its off-diagonal contribution and add the true
-        # diagonal one.)
-
-        gain = -delta  # positive gain = Frobenius distance decreases
-        if capacity_weighting:
-            with np.errstate(divide="ignore", invalid="ignore"):
-                weight = np.where(caps > 0, 1.0 - loads / caps, 0.0)
-            if negative_gain == "divide":
-                # Multiplying a *negative* gain by a small weight would
-                # make nearly-full groups attractive dumping grounds;
-                # dividing instead keeps the balancing direction
-                # uniform.
-                score = np.where(
-                    gain >= 0,
-                    gain * weight,
-                    gain / np.maximum(weight, 1e-9),
-                )
-            elif negative_gain == "multiply":
-                score = gain * weight
-            else:
-                raise ValueError(
-                    f"unknown negative_gain {negative_gain!r}"
-                )
-        else:
-            score = gain.copy()
-        score[loads >= group_sizes] = -np.inf
-        best = float(score.max())
-        if not np.isfinite(best):
-            raise RuntimeError("group capacities exhausted mid-stream")
-        candidates = np.flatnonzero(score >= best - 1e-12)
-        if candidates.size == 1:
-            choice = int(candidates[0])
-        else:
-            remaining = caps[candidates] - loads[candidates]
-            top = candidates[remaining == remaining.max()]
-            if top.size > 1:
-                pick = int(
-                    tie_stream.randint(np.int64(step), 0, top.size)
-                )
-                choice = int(top[pick])
-            else:
-                choice = int(top[0])
-
-        assignment[v] = choice
-        loads[choice] += 1
-        current[choice, :] += counts
-        current[:, choice] += counts
-        # The diagonal got c_t twice; the convention stores intra
-        # edges once.
-        current[choice, choice] -= counts[choice]
-    return assignment
+    return sbm_part_stream(
+        table,
+        group_sizes,
+        target,
+        order=order,
+        capacity_weighting=capacity_weighting,
+        tie_stream=tie_stream,
+        cold_start=cold_start,
+        negative_gain=negative_gain,
+        impl=impl,
+        prep=prep,
+    )
 
 
 def _mapping_from_assignment(assignment, codes):
@@ -289,6 +184,8 @@ def sbm_part_match(
     tie_stream=None,
     cold_start="proportional",
     negative_gain="divide",
+    impl="auto",
+    prep=None,
 ):
     """Full matching: PT + joint + structure -> mapping ``f``.
 
@@ -325,6 +222,8 @@ def sbm_part_match(
         tie_stream=tie_stream,
         cold_start=cold_start,
         negative_gain=negative_gain,
+        impl=impl,
+        prep=prep,
     )
     mapping = _mapping_from_assignment(assignment, codes)
     achieved = mixing_matrix(table, assignment, k=group_sizes.size)

@@ -47,12 +47,17 @@ __all__ = [
     "generate_structure",
     "match_edge",
     "match_inputs",
+    "match_prepare",
     "node_property_inputs",
     "property_shard_values",
     "resolve_count",
     "store_task_output",
     "structure_inputs",
 ]
+
+#: structures-dict key prefix for match-prepare outputs (stream
+#: precomputation is an intermediate, like pre-matching structures).
+_PREP_KEY = "__match_prep__:"
 
 
 # -- kernels (picklable inputs; safe to run in worker processes) -------------
@@ -82,6 +87,31 @@ def generate_structure(spec, sg_seed, n):
     return generator.run(n)
 
 
+def match_prepare(seed, edge_name, structure, counts_tables=None):
+    """Stream-order precomputation for a correlated matching step.
+
+    A pure function of ``(seed, edge name, structure)``: re-derives the
+    arrival permutation exactly as :func:`match_edge` would (from the
+    ``match:<edge>`` stream) and builds the streaming kernel's
+    :class:`~repro.core.matching.kernel.MatchPrep` — CSR adjacency,
+    arrival positions, cold-prefix length and (on the numpy path) the
+    later-neighbour counts tables.  Because it is pure and picklable,
+    the parallel executor runs it in a worker as soon as the structure
+    exists, overlapping it with the rest of the DAG.
+    """
+    from .matching.kernel import prepare_match_stream, resolve_impl
+
+    stream = RandomStream(derive_seed(seed, f"match:{edge_name}"))
+    order = stream.substream("arrival").permutation(
+        structure.num_nodes
+    )
+    if counts_tables is None:
+        counts_tables = resolve_impl("auto") == "numpy"
+    return prepare_match_stream(
+        structure, order, counts_tables=counts_tables
+    )
+
+
 def match_edge(
     edge,
     seed,
@@ -91,6 +121,7 @@ def match_edge(
     head_count,
     tail_pt=None,
     head_pt=None,
+    prep=None,
 ):
     """Assign final node ids to a structure (the matching step).
 
@@ -108,6 +139,10 @@ def match_edge(
     tail_pt, head_pt:
         correlated property tables, when ``edge.correlation`` asks for
         them.
+    prep:
+        optional :class:`~repro.core.matching.kernel.MatchPrep` built
+        by :func:`match_prepare` (carries the arrival order, so it is
+        bit-identical to computing it here).
 
     Returns
     -------
@@ -175,14 +210,19 @@ def match_edge(
         return structure.relabeled(mapping), None
     _, categories = tail_pt.codes()
     joint = align_joint(corr.joint, list(categories), corr.values)
+    if prep is None:
+        order = stream.substream("arrival").permutation(
+            structure.num_nodes
+        )
+    else:
+        order = prep.order  # same permutation, built by match_prepare
     match = sbm_part_match(
         tail_pt,
         joint,
         structure,
-        order=stream.substream("arrival").permutation(
-            structure.num_nodes
-        ),
+        order=order,
         tie_stream=stream.substream("ties"),
+        prep=prep,
     )
     return structure.relabeled(match.mapping), match
 
@@ -343,6 +383,7 @@ def match_inputs(schema, task, result, structures):
         "head_count": result.node_counts[edge.head_type],
         "tail_pt": tail_pt,
         "head_pt": head_pt,
+        "prep": structures.get(_PREP_KEY + edge.name),
     }
 
 
@@ -359,6 +400,8 @@ def store_task_output(task, result, structures, output):
         )
     elif task.kind == "structure":
         structures[task.subject] = output
+    elif task.kind == "match_prepare":
+        structures[_PREP_KEY + task.subject] = output
     elif task.kind == "match":
         table, match = output
         result.edge_tables[task.subject] = table
@@ -414,6 +457,10 @@ def apply_task(task, schema, scale, seed, result, structures):
             schema, scale, seed, task, result.node_counts
         )
         output = generate_structure(spec, sg_seed, n)
+    elif task.kind == "match_prepare":
+        output = match_prepare(
+            seed, task.subject, structures[task.subject]
+        )
     elif task.kind == "match":
         output = match_edge(
             seed=seed,

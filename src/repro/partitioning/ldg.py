@@ -11,16 +11,22 @@ This implementation is the *original* LDG.  The paper's evaluation uses
 it twice: to create the ground-truth labelling of the input graphs
 ("we partitioned each of the graphs g into k groups ... using LDG"),
 and — in our ablations — as a matching baseline.
+
+The per-node loop runs on the shared streaming-placement kernel
+(:mod:`repro.core.matching.kernel`): neighbour counts come from the
+streaming counts matrix, buffers are preallocated, and a compiled C
+loop takes over when a system compiler is available.  The original
+loop is preserved in :mod:`repro.core.matching.legacy` and the kernel
+is pinned byte-for-byte against it by ``tests/golden/matching/``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 __all__ = ["ldg_partition"]
 
 
-def ldg_partition(table, capacities, order=None, tie_stream=None):
+def ldg_partition(table, capacities, order=None, tie_stream=None,
+                  impl="auto", prep=None):
     """Partition the nodes of ``table`` into groups of given capacities.
 
     Parameters
@@ -34,58 +40,20 @@ def ldg_partition(table, capacities, order=None, tie_stream=None):
     tie_stream:
         :class:`~repro.prng.RandomStream` used to break score ties;
         deterministic round-robin when omitted.
+    impl:
+        kernel implementation: "auto" (default), "numpy" or "c".
+    prep:
+        optional precomputed
+        :class:`~repro.core.matching.kernel.MatchPrep` for this
+        ``(table, order)`` pair.
 
     Returns
     -------
     (n,) int64 partition label per node.
     """
-    capacities = np.asarray(capacities, dtype=np.int64)
-    if capacities.ndim != 1 or capacities.size == 0:
-        raise ValueError("capacities must be a non-empty 1-D array")
-    if (capacities < 0).any():
-        raise ValueError("capacities must be nonnegative")
-    n = table.num_nodes
-    if int(capacities.sum()) < n:
-        raise ValueError(
-            f"capacities sum to {int(capacities.sum())} < n = {n}"
-        )
-    k = capacities.size
-    if order is None:
-        order = np.arange(n, dtype=np.int64)
-    else:
-        order = np.asarray(order, dtype=np.int64)
-        if order.size != n:
-            raise ValueError("order must enumerate all n nodes")
+    from ..core.matching.kernel import ldg_stream
 
-    indptr, neighbors, _ = table.adjacency_csr()
-    assignment = np.full(n, -1, dtype=np.int64)
-    loads = np.zeros(k, dtype=np.int64)
-    caps = capacities.astype(np.float64)
-    neighbor_counts = np.zeros(k, dtype=np.float64)
-
-    for step, v in enumerate(order):
-        nbrs = neighbors[indptr[v]:indptr[v + 1]]
-        placed = assignment[nbrs]
-        placed = placed[placed >= 0]
-        neighbor_counts[:] = 0.0
-        if placed.size:
-            np.add.at(neighbor_counts, placed, 1.0)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            weight = np.where(caps > 0, 1.0 - loads / caps, -np.inf)
-        scores = neighbor_counts * weight
-        scores[loads >= capacities] = -np.inf
-        best = float(scores.max())
-        if not np.isfinite(best):
-            raise RuntimeError("no partition with remaining capacity")
-        candidates = np.flatnonzero(scores == best)
-        if candidates.size == 1:
-            choice = int(candidates[0])
-        elif tie_stream is not None:
-            pick = int(tie_stream.randint(np.int64(step), 0, candidates.size))
-            choice = int(candidates[pick])
-        else:
-            # Deterministic tie-break: the least-loaded candidate.
-            choice = int(candidates[np.argmin(loads[candidates])])
-        assignment[v] = choice
-        loads[choice] += 1
-    return assignment
+    return ldg_stream(
+        table, capacities, order=order, tie_stream=tie_stream,
+        impl=impl, prep=prep,
+    )

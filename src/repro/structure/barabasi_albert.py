@@ -55,24 +55,36 @@ class BarabasiAlbert(StructureGenerator):
         heads = [seed_h]
         # Degree-repeated list seeded from the star.
         rep_list = np.concatenate([seed_t, seed_h]).tolist()
+        # The rejection loop below replays the original draw-by-draw
+        # sampling exactly, but the PRNG calls — formerly one scalar
+        # ``randint`` per attempt, the dominant cost — are vectorised:
+        # one ``uniform(arange)`` call pre-draws a chunk of attempts
+        # per node and ``randint(i, 0, span)`` is algebraically
+        # ``int(uniform(i) * span)``, so the choices are bit-identical
+        # (pinned by ``tests/golden/matching/structures.npz``).
+        chunk = max(2 * m, 16)
+        arange_cache = np.arange(chunk, dtype=np.int64)
         for new in range(m + 1, n):
             node_stream = stream.indexed_substream(new)
+            uvals = node_stream.uniform(arange_cache).tolist()
+            rep_len = len(rep_list)
             chosen = set()
             attempt = 0
             while len(chosen) < m:
-                idx = int(
-                    node_stream.randint(
-                        np.int64(attempt), 0, len(rep_list)
+                if attempt + 1 >= len(uvals):
+                    base = len(uvals)
+                    uvals.extend(
+                        node_stream.uniform(
+                            np.arange(
+                                base, base + chunk, dtype=np.int64
+                            )
+                        ).tolist()
                     )
-                )
-                chosen.add(rep_list[idx])
+                chosen.add(rep_list[int(uvals[attempt] * rep_len)])
                 attempt += 1
                 if attempt > 50 * m:
                     # Fall back to uniform over existing nodes.
-                    extra = int(
-                        node_stream.randint(np.int64(attempt), 0, new)
-                    )
-                    chosen.add(extra)
+                    chosen.add(int(uvals[attempt] * new))
             targets = np.fromiter(chosen, dtype=np.int64, count=m)
             tails.append(np.full(m, new, dtype=np.int64))
             heads.append(targets)

@@ -60,43 +60,75 @@ class ForestFire(StructureGenerator):
             adjacency[u].append(v)
             adjacency[v].append(u)
 
+        # Burn bookkeeping: a per-node stamp array replaces the
+        # per-arrival ``burned`` set (membership test becomes a list
+        # read), and the per-draw scalar PRNG calls — formerly the
+        # dominant cost — are pre-drawn in vectorised chunks
+        # (``randint(i, 0, span)`` is ``int(uniform(i) * span)``).
+        # ``np.log(p)`` is loop-invariant per arrival and hoisted; the
+        # numerator stays ``np.log`` so the geometric counts keep the
+        # exact bits of the original (pinned by
+        # ``tests/golden/matching/structures.npz``).
+        burn_stamp = [-1] * n
+        log_p = float(np.log(p)) if p > 0.0 else 0.0
+        chunk = 2 * max_burn + 2
+        arange_cache = np.arange(chunk, dtype=np.int64)
+        np_log = np.log
+
         link(0, 1)
         for new in range(2, n):
             node_stream = stream.indexed_substream(new)
-            ambassador = int(
-                node_stream.randint(np.int64(0), 0, new)
-            )
-            burned = {new, ambassador}
+            uvals = node_stream.uniform(arange_cache).tolist()
+            ambassador = int(uvals[0] * new)
+            burn_stamp[new] = new
+            burn_stamp[ambassador] = new
             frontier = [ambassador]
+            cursor = 0
             link(new, ambassador)
             budget = max_burn - 1
             draw = 1
-            while frontier and budget > 0:
-                current = frontier.pop(0)
+            while cursor < len(frontier) and budget > 0:
+                current = frontier[cursor]
+                cursor += 1
                 neighbors = [
-                    v for v in adjacency[current] if v not in burned
+                    v for v in adjacency[current]
+                    if burn_stamp[v] != new
                 ]
                 if not neighbors:
                     continue
                 # Geometric(1 - p) number of neighbours to burn.
-                u = float(node_stream.uniform(np.int64(draw)))
+                if draw >= len(uvals):
+                    base = len(uvals)
+                    uvals.extend(
+                        node_stream.uniform(
+                            np.arange(
+                                base, base + chunk, dtype=np.int64
+                            )
+                        ).tolist()
+                    )
+                u = uvals[draw]
                 draw += 1
                 if p <= 0.0:
                     count = 0
                 else:
-                    count = int(np.log(max(1.0 - u, 1e-12))
-                                / np.log(p)) if p > 0 else 0
+                    count = int(np_log(max(1.0 - u, 1e-12)) / log_p)
                     # log_{p}(1-u): geometric tail with success 1-p.
                 count = min(count, len(neighbors), budget)
-                for pick in range(count):
-                    idx = int(
-                        node_stream.randint(
-                            np.int64(draw), 0, len(neighbors)
-                        )
+                if draw + count > len(uvals):
+                    base = len(uvals)
+                    uvals.extend(
+                        node_stream.uniform(
+                            np.arange(
+                                base, base + chunk + count,
+                                dtype=np.int64,
+                            )
+                        ).tolist()
                     )
+                for pick in range(count):
+                    idx = int(uvals[draw] * len(neighbors))
                     draw += 1
                     target = neighbors.pop(idx)
-                    burned.add(target)
+                    burn_stamp[target] = new
                     frontier.append(target)
                     link(new, target)
                     budget -= 1
