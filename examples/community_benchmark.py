@@ -1,9 +1,11 @@
-"""Reproduce one Figure-3 panel interactively and compare matchers.
+"""The Figure-3 evaluation setting, scenario-driven, plus the ablation.
 
-Runs the paper's evaluation protocol (LFR graph -> LDG ground truth ->
-SBM-Part) for a configurable size and k, prints the expected/observed
-CDF series (the paper's plotted curves) as an ASCII chart, and runs the
-matcher ablation on the same instance.
+The ``lfr_benchmark`` zoo recipe *is* the paper's evaluation protocol
+as data: an LFR graph with a 16-value label matched onto its planted
+communities.  This wrapper runs it at a configurable scale, prints the
+graded report, draws the expected/observed CDF curves as ASCII art,
+and then compares matchers on the same instance via the experiments
+protocol.
 
 Run:  python examples/community_benchmark.py [nodes] [k]
 """
@@ -11,6 +13,8 @@ Run:  python examples/community_benchmark.py [nodes] [k]
 import sys
 
 from repro.experiments import MATCHERS, run_protocol
+from repro.scenarios import compile_scenario, load_zoo, run_scenario
+from repro.stats import JointDistribution, compare_joints
 
 
 def ascii_chart(comparison, width=60, rows=12):
@@ -37,20 +41,28 @@ def main():
     nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 5_000
     k = int(sys.argv[2]) if len(sys.argv) > 2 else 16
 
-    print(f"protocol: LFR({nodes}) with k={k} property values")
-    result = run_protocol("lfr", nodes, k, seed=0)
-    print(f"graph: {result.num_nodes} nodes, {result.num_edges} edges")
-    print(f"matching took {result.seconds_matching:.2f}s")
-    print(f"quality: KS={result.comparison.ks:.4f} "
-          f"L1={result.comparison.l1:.4f}\n")
-    ascii_chart(result.comparison)
+    print(f"scenario: lfr_benchmark at Node={nodes}")
+    compiled = compile_scenario(
+        load_zoo("lfr_benchmark"), scale={"Node": nodes}
+    )
+    graph, report, _ = run_scenario(compiled)
+    print("generated:", graph.summary())
+    print()
+    print(report)
 
-    print("\nmatcher comparison on the same instance:")
+    match = graph.match_results["link"]
+    requested = JointDistribution(match.target)
+    observed = graph.observed_joint("link")
+    comparison = compare_joints(requested, observed)
+    print(f"\nmatching quality: KS={comparison.ks:.4f} "
+          f"L1={comparison.l1:.4f}\n")
+    ascii_chart(comparison)
+
+    print("\nmatcher comparison (experiments protocol, same sizes):")
     print(f"  {'matcher':<10} {'KS':>8} {'L1':>8} {'seconds':>8}")
     for matcher in MATCHERS:
-        ablation = run_protocol(
-            "lfr", nodes, k, seed=0, matcher=matcher
-        )
+        ablation = run_protocol("lfr", nodes, k, seed=0,
+                                matcher=matcher)
         print(
             f"  {matcher:<10} {ablation.comparison.ks:>8.4f} "
             f"{ablation.comparison.l1:>8.4f} "

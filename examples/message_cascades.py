@@ -1,89 +1,59 @@
-"""Tree cascades with vertex-centric propagation (paper §5).
+"""Message cascades: the zoo scenario plus cascade analytics.
 
-The paper's future-work section proposes handling tree structures
-(message cascades in social networks) with "a vertex-centric approach
-that propagates the information through the cascade iteratively".
-This example builds a forest of reply trees and propagates two
-properties down the cascades:
-
-* ``timestamp`` — every reply strictly later than its parent;
-* ``topic`` — inherited from the root with occasional drift.
+A thin wrapper over the ``message_cascades`` recipe — a forest of
+reply trees (paper §5 future work) with topics, text, and timestamps —
+followed by the cascade-shape analysis: per-cascade sizes, depths, and
+the broom-shaped size distribution, reconstructed from the generated
+``replyOf`` edge table.
 
 Run:  python examples/message_cascades.py
 """
 
 import numpy as np
 
-from repro.prng import RandomStream
-from repro.structure import CascadeForest
+from repro.scenarios import load_zoo, run_scenario
 
-TOPICS = ["sports", "music", "politics", "movies", "technology"]
+
+def cascade_stats(table, num_messages):
+    """Per-node root and depth from the (child -> parent) reply edges."""
+    parents = np.full(num_messages, -1, dtype=np.int64)
+    parents[table.tails] = table.heads
+    depths = np.zeros(num_messages, dtype=np.int64)
+    roots = np.arange(num_messages, dtype=np.int64)
+    node = parents.copy()
+    while (node >= 0).any():
+        active = node >= 0
+        depths[active] += 1
+        roots[active] = node[active]
+        node = np.where(active, parents[np.clip(node, 0, None)], -1)
+    return roots, depths
 
 
 def main():
-    generator = CascadeForest(seed=3, num_cascades=40, depth_bias=1.0)
-    result = generator.run_with_metadata(2_000)
-    table = result.table
-    print(f"forest: {result.num_cascades} cascades, "
-          f"{table.num_edges} reply edges, "
-          f"max depth {int(result.depths.max())}")
+    graph, report, _ = run_scenario(load_zoo("message_cascades"))
+    print("generated:", graph.summary())
+    print()
+    print(report)
 
-    # Root timestamps uniform over a day; replies propagate strictly
-    # later with per-node random gaps.
-    stream = RandomStream(9, "cascade.time")
-    roots = np.flatnonzero(result.parents < 0)
-    initial = np.zeros(2_000, dtype=np.int64)
-    initial[roots] = stream.randint(roots, 0, 86_400)
+    replies = graph.edges("replyOf")
+    num_messages = graph.num_nodes("Message")
+    roots, depths = cascade_stats(replies, num_messages)
 
-    gap_stream = stream.substream("gaps")
-
-    def later_than_parent(parent_value, node, depth):
-        gap = int(gap_stream.raw(np.int64(node)) % np.uint64(3_600)) + 1
-        return parent_value + gap
-
-    timestamps = np.asarray(
-        generator.propagate(result, initial, later_than_parent)
-    )
-    parents = result.parents
-    non_roots = np.flatnonzero(parents >= 0)
-    assert (timestamps[non_roots] > timestamps[parents[non_roots]]).all()
-    print("every reply strictly later than its parent: ok")
-
-    # Topic inheritance with 10% drift.
-    topic_stream = stream.substream("topics")
-    initial_topics = [
-        TOPICS[int(topic_stream.raw(np.int64(node)) % np.uint64(5))]
-        for node in range(2_000)
-    ]
-
-    def inherit_topic(parent_topic, node, depth):
-        drift = float(
-            topic_stream.substream("drift").uniform(np.int64(node))
-        )
-        if drift < 0.1:
-            choice = int(
-                topic_stream.substream("new").raw(np.int64(node))
-                % np.uint64(len(TOPICS))
-            )
-            return TOPICS[choice]
-        return parent_topic
-
-    topics = generator.propagate(result, initial_topics, inherit_topic)
-    same_as_root = np.mean(
-        [topics[node] == topics[result.roots[node]]
-         for node in range(2_000)]
-    )
-    print(f"messages sharing their cascade root's topic: "
-          f"{same_as_root:.1%}")
-
-    # Cascade size distribution (broom shape).
-    sizes = np.bincount(result.roots)
+    sizes = np.bincount(roots)
     sizes = sizes[sizes > 0]
-    print(f"cascade sizes: min={sizes.min()} median="
-          f"{int(np.median(sizes))} max={sizes.max()}")
-    depth_hist = np.bincount(result.depths)
-    print("depth histogram (top 6 levels):",
-          depth_hist[:6].tolist())
+    print(f"\nforest: {len(np.unique(roots))} cascades over "
+          f"{num_messages} messages, max depth {int(depths.max())}")
+    print(f"cascade sizes: min={sizes.min()} "
+          f"median={int(np.median(sizes))} max={sizes.max()}")
+    depth_hist = np.bincount(depths)
+    print("depth histogram (top 6 levels):", depth_hist[:6].tolist())
+
+    # Topic mixing along reply edges: children vs their cascade root.
+    topics = graph.node_property("Message", "topic").values
+    same_as_root = float((topics == topics[roots]).mean())
+    print(f"messages sharing their cascade root's topic: "
+          f"{same_as_root:.1%} (topics are uncorrelated by "
+          "construction)")
 
 
 if __name__ == "__main__":

@@ -1,121 +1,29 @@
-"""Bipartite generation: a recommender-system benchmark dataset.
+"""Bipartite generation: the recommender zoo scenario.
 
-Builds a User -likes-> Item graph where users and items both carry a
-genre property and the likes edges follow a genre-affinity joint (users
-mostly like items of their genre) — the bipartite variant of SBM-Part
-in action.  This is the "recommender systems" domain from the paper's
-requirements section.
+A thin wrapper over the ``recommender_bipartite`` recipe — a User
+-likes-> Item graph whose edges follow a genre-affinity joint (the
+bipartite variant of SBM-Part).  The recipe carries the schema and the
+graded expectations; this script adds the domain analysis.
 
 Run:  python examples/recommender_bipartite.py
 """
 
 import numpy as np
 
-from repro.core import (
-    CorrelationSpec,
-    EdgeType,
-    GeneratorSpec,
-    GraphGenerator,
-    NodeType,
-    PropertyDef,
-    Schema,
-)
-from repro.stats import Zipf
-
-GENRES = ["action", "comedy", "drama", "documentary"]
-
-
-def build_schema(affinity=0.75):
-    user = NodeType(
-        "User",
-        properties=[
-            PropertyDef(
-                "genre",
-                "string",
-                GeneratorSpec(
-                    "categorical",
-                    {"values": GENRES,
-                     "weights": [0.4, 0.3, 0.2, 0.1]},
-                ),
-            ),
-            PropertyDef(
-                "handle",
-                "string",
-                GeneratorSpec("composite_key", {"prefix": "user"}),
-            ),
-        ],
-    )
-    item = NodeType(
-        "Item",
-        properties=[
-            PropertyDef(
-                "genre",
-                "string",
-                GeneratorSpec(
-                    "categorical",
-                    {"values": GENRES,
-                     "weights": [0.4, 0.3, 0.2, 0.1]},
-                ),
-            ),
-            PropertyDef(
-                "title",
-                "string",
-                GeneratorSpec("composite_key", {"prefix": "item"}),
-            ),
-        ],
-    )
-    # Genre-affinity joint: `affinity` of the mass on the diagonal,
-    # spread by popularity.
-    marginal = np.array([0.4, 0.3, 0.2, 0.1])
-    joint = (
-        affinity * np.diag(marginal)
-        + (1 - affinity) * np.outer(marginal, marginal)
-    )
-    likes = EdgeType(
-        "likes",
-        tail_type="User",
-        head_type="Item",
-        structure=GeneratorSpec(
-            "bipartite_configuration",
-            {
-                "tail_distribution": Zipf(1.3, 30),
-                "head_distribution": Zipf(1.1, 50),
-                "tail_offset": 1,
-                "head_offset": 1,
-                "head_nodes": 2_000,
-            },
-        ),
-        correlation=CorrelationSpec(
-            tail_property="genre",
-            head_property="genre",
-            joint=joint,
-        ),
-        directed=True,
-        properties=[
-            PropertyDef(
-                "rating",
-                "long",
-                GeneratorSpec("uniform_int", {"low": 1, "high": 6}),
-            ),
-        ],
-    )
-    return Schema(node_types=[user, item], edge_types=[likes])
+from repro.scenarios import load_zoo, run_scenario
 
 
 def main():
-    schema = build_schema()
-    graph = GraphGenerator(
-        schema, {"User": 4_000, "Item": 2_000}, seed=11
-    ).generate()
+    graph, report, _ = run_scenario(load_zoo("recommender_bipartite"))
     print("generated:", graph.summary())
+    print()
+    print(report)
 
     likes = graph.edges("likes")
     user_genres = graph.node_property("User", "genre").values
     item_genres = graph.node_property("Item", "genre").values
-    same = (
-        user_genres[likes.tails] == item_genres[likes.heads]
-    ).mean()
-    print(f"likes within the user's genre: {same:.1%} "
+    same = (user_genres[likes.tails] == item_genres[likes.heads]).mean()
+    print(f"\nlikes within the user's genre: {same:.1%} "
           "(requested 75% + diagonal share of the independent part)")
 
     match = graph.match_results["likes"]

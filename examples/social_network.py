@@ -1,9 +1,10 @@
-"""The full running example (Figure 1) with verification and export.
+"""The full running example (Figure 1), scenario-driven.
 
-Generates the Person/Message social network, verifies every property
-the paper states for it, prints a structural profile of the friendship
-graph, and exports the dataset as CSV (the shape a benchmark harness
-would load into a graph database).
+A thin wrapper over the ``social_network`` zoo recipe: generate at the
+requested scale, print the graded validation report (the audit of every
+contract the paper states), show the structural profile of the
+friendship graph, and stream-export as CSV if an output directory is
+given.
 
 Run:  python examples/social_network.py [num_persons] [output_dir]
 """
@@ -12,68 +13,25 @@ import sys
 
 import numpy as np
 
-from repro import GraphGenerator, social_network_schema
-from repro.graphstats import (
-    attribute_assortativity,
-    structural_summary,
-)
-from repro.io import export_graph_csv
-
-
-def verify(graph):
-    """Check the running example's stated requirements, print a report."""
-    checks = []
-
-    person_dates = graph.node_property("Person", "creationDate").values
-    knows = graph.edges("knows")
-    knows_dates = graph.edge_property("knows", "creationDate").values
-    ok = bool(
-        (knows_dates > np.maximum(
-            person_dates[knows.tails], person_dates[knows.heads]
-        )).all()
-    )
-    checks.append(("knows.creationDate > both endpoints", ok))
-
-    creates = graph.edges("creates")
-    creates_dates = graph.edge_property("creates", "creationDate").values
-    ok = bool((creates_dates > person_dates[creates.tails]).all())
-    checks.append(("creates.creationDate > creator's", ok))
-
-    ok = graph.num_nodes("Message") == creates.num_edges
-    checks.append(("#Messages == #creates edges (1..* inference)", ok))
-
-    counts = np.bincount(
-        creates.heads, minlength=graph.num_nodes("Message")
-    )
-    checks.append(("every Message has exactly one creator",
-                   bool((counts == 1).all())))
-
-    codes, _ = graph.node_property("Person", "country").codes()
-    assortativity = attribute_assortativity(knows, codes)
-    checks.append(
-        (f"country homophily on knows (assortativity "
-         f"{assortativity:.3f} > 0.1)", assortativity > 0.1)
-    )
-
-    print("requirement checks:")
-    for label, ok in checks:
-        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
-    if not all(ok for _label, ok in checks):
-        raise SystemExit("requirement check failed")
+from repro.graphstats import structural_summary
+from repro.scenarios import compile_scenario, load_zoo, run_scenario
 
 
 def main():
     num_persons = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
     out_dir = sys.argv[2] if len(sys.argv) > 2 else None
 
-    schema = social_network_schema(num_countries=16)
+    compiled = compile_scenario(
+        load_zoo("social_network"), scale={"Person": num_persons}
+    )
     print(f"generating social network with {num_persons} persons ...")
-    graph = GraphGenerator(
-        schema, {"Person": num_persons}, seed=7
-    ).generate()
+    graph, report, written = run_scenario(compiled, out_dir=out_dir)
     print("generated:", graph.summary())
 
-    verify(graph)
+    print()
+    print(report)
+    if not report.passed:
+        raise SystemExit("graded audit failed")
 
     print("\nfriendship graph structural profile:")
     knows = graph.edges("knows")
@@ -91,15 +49,12 @@ def main():
     for country in ("China", "Germany", "Brazil"):
         mask = countries == country
         if mask.any():
-            values, counts = np.unique(
-                names[mask], return_counts=True
-            )
+            values, counts = np.unique(names[mask], return_counts=True)
             top = values[np.argmax(counts)]
             print(f"  {country}: {top}")
 
-    if out_dir:
-        written = export_graph_csv(graph, out_dir)
-        print(f"\nwrote {len(written)} CSV files to {out_dir}")
+    if written:
+        print(f"\nwrote {len(written)} files")
 
 
 if __name__ == "__main__":

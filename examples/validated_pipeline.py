@@ -1,14 +1,10 @@
-"""A production-shaped pipeline: generate → validate → export → report.
+"""A production-shaped pipeline: recipe → customise → run → gate.
 
-Combines the pieces a benchmark team would actually wire together:
-
-1. generate the social network with a multi-valued ``interests``
-   property (paper §5 future work);
-2. audit the dataset with the standard schema-derived checks plus
-   custom ones (degree bands, key uniqueness);
-3. measure the interest co-occurrence joint over friendships
-   (multi-valued joint measurement);
-4. export to CSV only if the audit passes.
+Recipes are plain data, so a pipeline can load a zoo recipe and *edit*
+it before compiling — here the ``social_network`` recipe grows a
+multi-valued ``interests`` property and a unique ``handle`` (paper §5
+future work), plus the matching validation expectations.  Export only
+happens if the graded audit does not fail.
 
 Run:  python examples/validated_pipeline.py [output_dir]
 """
@@ -17,68 +13,55 @@ import sys
 
 import numpy as np
 
-from repro import GraphGenerator, social_network_schema
-from repro.core.schema import GeneratorSpec, PropertyDef
-from repro.datasets import INTERESTS
-from repro.io import export_graph_csv
+from repro.scenarios import compile_scenario, load_zoo, run_scenario
 from repro.stats import empirical_multivalue_joint, encode_value_sets
-from repro.validation import (
-    DegreeDistributionCheck,
-    UniquenessCheck,
-    standard_checks,
-    validate,
-)
 
 
-def build_schema():
-    """The Figure-1 schema plus a multi-valued interests property and
-    a unique handle."""
-    schema = social_network_schema(num_countries=12)
-    person = schema.node_type("Person")
-    person.properties.append(
-        PropertyDef(
-            "interests",
-            "string",  # object column of tuples
-            GeneratorSpec(
-                "multi_value",
-                {
-                    "values": INTERESTS[:12],
-                    "min_size": 1,
-                    "max_size": 4,
-                    "exponent": 1.2,
-                },
-            ),
-        )
-    )
-    person.properties.append(
-        PropertyDef(
-            "handle",
-            "string",
-            GeneratorSpec("composite_key", {"prefix": "person"}),
-        )
-    )
-    return schema
+def customised_recipe():
+    """The zoo recipe plus interests/handle and their expectations."""
+    recipe = load_zoo("social_network").raw
+    person = recipe["nodes"]["Person"]["properties"]
+    person["interests"] = {
+        "generator": "multi_value",
+        "params": {
+            "values": {"$dataset": {"name": "interests", "limit": 12}},
+            "min_size": 1,
+            "max_size": 4,
+            "exponent": 1.2,
+        },
+    }
+    person["handle"] = {
+        "generator": "composite_key",
+        "params": {"prefix": "person"},
+    }
+    recipe.setdefault("validation", {})["unique"] = ["Person.handle"]
+    recipe["validation"]["degrees"] = {
+        "knows": {"min_mean": 8, "max_mean": 25, "max_degree": 50},
+    }
+    return recipe
 
 
 def main():
     out_dir = sys.argv[1] if len(sys.argv) > 1 else None
-    schema = build_schema()
-    print("generating ...")
-    graph = GraphGenerator(schema, {"Person": 4_000}, seed=3).generate()
-    print("generated:", graph.summary())
-
-    checks = standard_checks(schema)
-    checks.append(
-        DegreeDistributionCheck(
-            "knows", min_mean=8, max_mean=25, max_degree=50
-        )
+    compiled = compile_scenario(
+        customised_recipe(), scale={"Person": 4_000}, seed=3
     )
-    checks.append(UniquenessCheck("Person", "handle"))
-    report = validate(graph, checks)
-    print("\naudit:")
+    print("generating ...")
+    # Generate and audit first, *without* an out_dir — run_scenario
+    # streams exports during generation, so gating on the audit means
+    # exporting in a second step from the finished graph.
+    graph, report, _ = run_scenario(compiled)
+    print("generated:", graph.summary())
+    print("\ngraded audit:")
     print(report)
     if not report.passed:
         raise SystemExit("audit failed; not exporting")
+
+    written = []
+    if out_dir:
+        from repro.io import export_graph, make_sink
+
+        written = export_graph(graph, make_sink("csv", out_dir))
 
     # Multi-valued joint: which interests co-occur across friendships?
     interests = graph.node_property("Person", "interests").values
@@ -96,9 +79,8 @@ def main():
     print(f"shared-interest friendship mass: {same:.1%} "
           "(uncorrelated by construction — interests were not matched)")
 
-    if out_dir:
-        written = export_graph_csv(graph, out_dir)
-        print(f"\nwrote {len(written)} CSV files to {out_dir}")
+    if written:
+        print(f"\nwrote {len(written)} files to {out_dir}")
     else:
         print("\n(no output dir given; skipping export)")
 

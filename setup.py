@@ -1,3 +1,18 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # Ship the scenario zoo recipes with the package.
+    package_data={"repro.scenarios": ["zoo/*.yaml"]},
+    include_package_data=True,
+    # Both spellings used across the docs; `python -m repro.cli`
+    # always works without installation.
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+            "datasynth = repro.cli:main",
+        ],
+    },
+)

@@ -1,11 +1,20 @@
 """Command-line interface.
 
+The catalog-driven entry point is the ``scenario`` subcommand — run a
+named workload from the zoo (or any recipe file) end-to-end: generate,
+stream-export, and emit a graded validation report::
+
+    datasynth scenario list
+    datasynth scenario describe social_network
+    datasynth scenario run social_network --workers 2 --out out/
+    datasynth scenario validate lfr_benchmark --scale Node=1000
+
 ``datasynth generate schema.dsl --scale Person=10000 --out data/``
 parses a DSL schema, generates the graph, and streams it to disk as it
 is generated (chunked, memory-bounded export; see docs/io.md).  Add
 ``--workers N`` to run the task DAG shard-parallel on a process pool,
 ``--chunk-size N`` / ``--compress`` to tune the export — output bytes
-are identical for every combination.  A second subcommand runs the
+are identical for every combination.  A further subcommand runs the
 paper's evaluation protocol for quick inspection::
 
     datasynth protocol --kind lfr --size 10000 --k 16
@@ -144,6 +153,89 @@ def build_parser():
     example.add_argument("--seed", type=int, default=0)
     example.add_argument("--workers", type=_worker_count, default=1, metavar="N")
     example.add_argument("--out", default=None)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="run declarative scenario recipes (the zoo) end-to-end",
+        description=(
+            "Declarative workloads: a recipe (YAML/JSON) names the "
+            "schema, scale, export settings and validation "
+            "thresholds; `run` generates, streams the export, and "
+            "emits a graded pass/warn/fail report (text + JSON). "
+            "See docs/scenarios.md."
+        ),
+    )
+    scen_sub = scenario.add_subparsers(dest="scenario_command",
+                                       required=True)
+
+    scen_sub.add_parser(
+        "list", help="list the built-in scenario zoo"
+    )
+
+    describe = scen_sub.add_parser(
+        "describe",
+        help="show a recipe's schema, knobs, and the recipe-key "
+             "reference",
+    )
+    describe.add_argument(
+        "name", help="zoo scenario name or recipe file path"
+    )
+
+    def _add_run_args(cmd, with_export):
+        cmd.add_argument(
+            "name", help="zoo scenario name or recipe file path"
+        )
+        cmd.add_argument(
+            "--scale", action="append", default=[],
+            metavar="TYPE=COUNT",
+            help="override the recipe's scale anchors (repeatable)",
+        )
+        cmd.add_argument(
+            "--seed", type=int, default=None,
+            help="override the recipe's seed",
+        )
+        cmd.add_argument(
+            "--workers", type=_worker_count, default=1, metavar="N",
+            help="process-pool size (output is bit-identical for "
+                 "any N)",
+        )
+        cmd.add_argument(
+            "--report-json", default=None, metavar="PATH",
+            help="write the graded report as JSON to PATH",
+        )
+        if with_export:
+            cmd.add_argument(
+                "--out", default=None,
+                help="export directory (streams during generation; "
+                     "a validation_report.json lands next to the "
+                     "tables)",
+            )
+            cmd.add_argument(
+                "--format", default=None,
+                choices=("csv", "jsonl", "edgelist", "graphml"),
+                help="override the recipe's export formats",
+            )
+            cmd.add_argument(
+                "--chunk-size", type=_chunk_size, default=None,
+                metavar="N",
+            )
+            cmd.add_argument("--compress", action="store_true")
+            cmd.add_argument(
+                "--no-validate", action="store_true",
+                help="skip the graded validation audit",
+            )
+
+    run = scen_sub.add_parser(
+        "run",
+        help="generate + export + graded validation report",
+    )
+    _add_run_args(run, with_export=True)
+
+    validate_cmd = scen_sub.add_parser(
+        "validate",
+        help="generate (no export) and emit the graded report",
+    )
+    _add_run_args(validate_cmd, with_export=False)
     return parser
 
 
@@ -271,6 +363,146 @@ def _cmd_validate(args):
     return 0 if report.passed else 1
 
 
+def _load_scenario_spec(name):
+    """Resolve a CLI scenario argument: zoo name or recipe path."""
+    import os
+
+    from .scenarios import load_recipe, load_zoo
+
+    if os.path.sep in name or name.endswith(
+        (".yaml", ".yml", ".json")
+    ):
+        return load_recipe(name)
+    return load_zoo(name)
+
+
+def _cmd_scenario_list(args):
+    from .scenarios import zoo_specs
+
+    rows = [
+        (
+            name,
+            ", ".join(f"{k}={v}" for k, v in spec.scale.items()),
+            spec.description,
+        )
+        for name, spec in zoo_specs()
+    ]
+    name_w = max(len(r[0]) for r in rows)
+    scale_w = max(len(r[1]) for r in rows)
+    print(f"{'scenario':<{name_w}}  {'scale':<{scale_w}}  description")
+    for name, scale, description in rows:
+        print(f"{name:<{name_w}}  {scale:<{scale_w}}  {description}")
+    return 0
+
+
+def _cmd_scenario_describe(args):
+    from .scenarios import recipe_reference_rows
+
+    spec = _load_scenario_spec(args.name)
+    print(f"scenario {spec.name!r}: {spec.description}")
+    if spec.tags:
+        print(f"  tags: {', '.join(spec.tags)}")
+    print(f"  seed: {spec.seed}")
+    print(f"  scale: "
+          + ", ".join(f"{k}={v}" for k, v in spec.scale.items()))
+    for type_name, node in spec.nodes.items():
+        props = (node or {}).get("properties", {})
+        print(f"  node {type_name} ({len(props)} properties)")
+        for prop, body in props.items():
+            deps = body.get("depends_on") or []
+            suffix = f" depends({', '.join(deps)})" if deps else ""
+            print(f"    {prop}: {body.get('dtype', 'string')} = "
+                  f"{body.get('generator')}(...){suffix}")
+    for edge_name, edge in spec.edges.items():
+        arrow = "->" if edge.get("directed") else "--"
+        corr = edge.get("correlation") or {}
+        extra = (
+            f", correlated on {corr['property']!r}"
+            if corr.get("property") else ""
+        )
+        print(
+            f"  edge {edge_name}: {edge['tail']} {arrow} "
+            f"{edge['head']} "
+            f"[{edge.get('cardinality', '*..*')}] via "
+            f"{edge['structure']['generator']}{extra}"
+        )
+    print(f"  export: {', '.join(spec.export_formats)}")
+    print()
+    print("recipe keys (from repro.scenarios.spec.RECIPE_FIELDS; "
+          "full reference: docs/scenarios.md):")
+    for path, type_, required, default, _desc in \
+            recipe_reference_rows():
+        marks = []
+        if required == "yes":
+            marks.append("required")
+        if default and default != "—":
+            marks.append(f"default {default}")
+        suffix = f"  ({'; '.join(marks)})" if marks else ""
+        print(f"  {path:<46} {type_}{suffix}")
+    return 0
+
+
+def _cmd_scenario_run(args, export=True):
+    import os
+
+    from .scenarios import compile_scenario, run_scenario
+
+    spec = _load_scenario_spec(args.name)
+    compiled = compile_scenario(
+        spec, scale=_parse_scale(args.scale), seed=args.seed
+    )
+    out_dir = getattr(args, "out", None) if export else None
+    formats = None
+    if export and args.format:
+        formats = [args.format]
+    validate = not (export and args.no_validate)
+    graph, report, written = run_scenario(
+        compiled,
+        workers=args.workers,
+        out_dir=out_dir,
+        formats=formats,
+        chunk_size=getattr(args, "chunk_size", None),
+        compress=(getattr(args, "compress", False) or None),
+        validate=validate,
+    )
+    print(f"scenario {compiled.name!r}: {graph.summary()}")
+    for path in written:
+        print(f"  wrote {path}")
+    if report is None:
+        return 0
+    print(report)
+    report_paths = []
+    if args.report_json:
+        report_paths.append(args.report_json)
+    if out_dir is not None:
+        report_paths.append(
+            os.path.join(out_dir, "validation_report.json")
+        )
+    for path in report_paths:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"  wrote {path}")
+    return 0 if report.passed else 1
+
+
+def _cmd_scenario(args):
+    from .scenarios import ScenarioError
+
+    handlers = {
+        "list": _cmd_scenario_list,
+        "describe": _cmd_scenario_describe,
+        "run": _cmd_scenario_run,
+        "validate": lambda a: _cmd_scenario_run(a, export=False),
+    }
+    try:
+        return handlers[args.scenario_command](args)
+    except (ScenarioError, OSError) as exc:
+        raise SystemExit(f"scenario error: {exc}") from None
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     handlers = {
@@ -280,6 +512,7 @@ def main(argv=None):
         "report": _cmd_report,
         "validate": _cmd_validate,
         "analyze": _cmd_analyze,
+        "scenario": _cmd_scenario,
     }
     return handlers[args.command](args)
 

@@ -37,6 +37,16 @@ def local_clustering(table):
 
     ``c_v = 2 T_v / (d_v (d_v - 1))`` with ``T_v`` the number of edges
     among v's neighbours; nodes with degree < 2 get 0.
+
+    Examples
+    --------
+    A triangle ``0-1-2`` with a pendant node ``3`` on ``0``:
+
+    >>> from repro.tables import EdgeTable
+    >>> tri = EdgeTable("e", [0, 1, 2, 0], [1, 2, 0, 3],
+    ...                 num_tail_nodes=4)
+    >>> [round(float(c), 4) for c in local_clustering(tri)]
+    [0.3333, 1.0, 1.0, 0.0]
     """
     sets = _neighbor_sets(table)
     n = table.num_nodes
@@ -60,7 +70,14 @@ def local_clustering(table):
 
 
 def average_clustering(table):
-    """Mean local clustering coefficient over all nodes."""
+    """Mean local clustering coefficient over all nodes.
+
+    >>> from repro.tables import EdgeTable
+    >>> tri = EdgeTable("e", [0, 1, 2, 0], [1, 2, 0, 3],
+    ...                 num_tail_nodes=4)
+    >>> round(average_clustering(tri), 4)
+    0.5833
+    """
     coeffs = local_clustering(table)
     return float(coeffs.mean()) if coeffs.size else 0.0
 
@@ -73,6 +90,15 @@ def clustering_per_degree(table):
     (degrees, mean_cc):
         degrees with at least one node, and the mean local clustering of
         the nodes of that degree.
+
+    Examples
+    --------
+    >>> from repro.tables import EdgeTable
+    >>> tri = EdgeTable("e", [0, 1, 2, 0], [1, 2, 0, 3],
+    ...                 num_tail_nodes=4)
+    >>> degrees, mean_cc = clustering_per_degree(tri)
+    >>> degrees.tolist(), [round(float(c), 4) for c in mean_cc]
+    ([1, 2, 3], [0.0, 1.0, 0.3333])
     """
     coeffs = local_clustering(table)
     degrees = table.degrees()
@@ -93,6 +119,15 @@ def clustering_distribution_per_degree(table, bins=10):
     Returns a dict ``degree -> histogram`` where the histogram counts
     nodes of that degree whose local clustering falls into each of
     ``bins`` equal-width bins on [0, 1].
+
+    Examples
+    --------
+    >>> from repro.tables import EdgeTable
+    >>> tri = EdgeTable("e", [0, 1, 2, 0], [1, 2, 0, 3],
+    ...                 num_tail_nodes=4)
+    >>> hists = clustering_distribution_per_degree(tri, bins=2)
+    >>> {d: h.tolist() for d, h in hists.items()}
+    {1: [1, 0], 2: [0, 2], 3: [1, 0]}
     """
     coeffs = local_clustering(table)
     degrees = table.degrees()
@@ -105,7 +140,14 @@ def clustering_distribution_per_degree(table, bins=10):
 
 
 def triangle_count(table):
-    """Total number of triangles in the graph."""
+    """Total number of triangles in the graph.
+
+    >>> from repro.tables import EdgeTable
+    >>> tri = EdgeTable("e", [0, 1, 2, 0], [1, 2, 0, 3],
+    ...                 num_tail_nodes=4)
+    >>> triangle_count(tri)
+    1
+    """
     coeffs = local_clustering(table)
     degrees = table.degrees().astype(np.float64)
     # Sum of per-node triangle counts = 3 * number of triangles.

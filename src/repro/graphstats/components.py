@@ -19,6 +19,16 @@ def connected_components(table):
     -------
     (labels, count):
         dense component label per node and the number of components.
+
+    Examples
+    --------
+    An edge ``0-1`` plus an isolated node ``2``:
+
+    >>> from repro.tables import EdgeTable
+    >>> table = EdgeTable("e", [0], [1], num_tail_nodes=3)
+    >>> labels, count = connected_components(table)
+    >>> labels.tolist(), count
+    ([0, 0, 1], 2)
     """
     n = table.num_nodes
     parent = np.arange(n, dtype=np.int64)
@@ -42,7 +52,13 @@ def connected_components(table):
 
 
 def largest_component_fraction(table):
-    """Fraction of nodes in the largest connected component."""
+    """Fraction of nodes in the largest connected component.
+
+    >>> from repro.tables import EdgeTable
+    >>> table = EdgeTable("e", [0], [1], num_tail_nodes=4)
+    >>> largest_component_fraction(table)
+    0.5
+    """
     labels, count = connected_components(table)
     if count == 0:
         return 0.0
@@ -51,7 +67,15 @@ def largest_component_fraction(table):
 
 
 def bfs_distances(table, source):
-    """BFS hop distances from ``source`` (-1 where unreachable)."""
+    """BFS hop distances from ``source`` (-1 where unreachable).
+
+    A path ``0-1-2`` plus an unreachable node ``3``:
+
+    >>> from repro.tables import EdgeTable
+    >>> path = EdgeTable("e", [0, 1], [1, 2], num_tail_nodes=4)
+    >>> bfs_distances(path, 0).tolist()
+    [0, 1, 2, -1]
+    """
     n = table.num_nodes
     indptr, neighbors, _ = table.adjacency_csr()
     dist = np.full(n, -1, dtype=np.int64)
@@ -80,6 +104,14 @@ def approximate_diameter(table, samples=8, stream=None):
     Runs BFS from ``samples`` pseudo-random sources, then from the
     farthest node found by each sweep, returning the maximum eccentricity
     observed — the standard cheap diameter estimate for large graphs.
+
+    Examples
+    --------
+    >>> from repro.tables import EdgeTable
+    >>> path = EdgeTable("e", [0, 1, 2], [1, 2, 3],
+    ...                  num_tail_nodes=4)
+    >>> approximate_diameter(path)
+    3
     """
     n = table.num_nodes
     if n == 0 or table.num_edges == 0:

@@ -27,6 +27,20 @@ def structural_summary(table, clustering=True, diameter=True):
 
     ``clustering`` and ``diameter`` can be disabled for very large
     graphs (both are the superlinear parts).
+
+    Examples
+    --------
+    >>> from repro.tables import EdgeTable
+    >>> tri = EdgeTable("e", [0, 1, 2, 0], [1, 2, 0, 3],
+    ...                 num_tail_nodes=4)
+    >>> profile = structural_summary(tri, clustering=True,
+    ...                              diameter=True)
+    >>> profile["num_nodes"], profile["num_edges"]
+    (4, 4)
+    >>> profile["num_components"], profile["approximate_diameter"]
+    (1, 2)
+    >>> round(profile["average_clustering"], 4)
+    0.5833
     """
     degrees = table.degrees()
     _, num_components = connected_components(table)

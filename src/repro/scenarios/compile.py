@@ -1,0 +1,649 @@
+"""Lower scenario recipes onto the core schema/engine objects.
+
+The compiler turns a validated :class:`~repro.scenarios.spec.
+ScenarioSpec` into the exact objects the imperative API uses — a
+:class:`~repro.core.schema.Schema`, a scale dict, and a list of
+:class:`~repro.scenarios.report.GradedCheck` — so a recipe and a
+hand-built script drive *the same* engine:
+
+    recipe (YAML) ──compile_scenario──► CompiledScenario
+        .schema  : core Schema (nodes, edges, correlations)
+        .scale   : scale anchors (recipe ∪ overrides)
+        .checks(): graded validation derived from schema + thresholds
+    run_scenario(compiled, workers=N, out_dir=...) ──► (graph, report)
+
+``$constructor`` values — the recipe-side escape hatch for live Python
+objects — are resolved here:
+
+``{$zipf: {exponent, max}}`` and friends
+    degree distributions (:mod:`repro.stats.distributions`);
+``{$homophily: {affinity}}`` / ``{$affinity: {affinity}}`` /
+``{$matrix: [[...], ...]}``
+    joint distributions for correlations and ``attributed_sbm``,
+    with marginals taken from the correlated categorical property;
+``{$dataset: {name, limit}}``
+    embedded value tables (countries, names, interests, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.engine import GraphGenerator
+from ..core.schema import (
+    Cardinality,
+    CorrelationSpec,
+    EdgeType,
+    GeneratorSpec,
+    NodeType,
+    PropertyDef,
+    Schema,
+)
+from ..validation import (
+    CardinalityCheck,
+    DateOrderingCheck,
+    DegreeDistributionCheck,
+    JointDistributionCheck,
+    MarginalDistributionCheck,
+    UniquenessCheck,
+)
+from .report import GradedCheck, run_graded
+from .spec import ScenarioError, ScenarioSpec
+
+__all__ = [
+    "CompiledScenario",
+    "compile_scenario",
+    "run_scenario",
+]
+
+
+# ---------------------------------------------------------------------------
+# $constructor resolution
+# ---------------------------------------------------------------------------
+
+def _require_args(kind, args, required, optional=()):
+    if not isinstance(args, dict):
+        raise ScenarioError(
+            f"${kind} expects a mapping of arguments, got {args!r}"
+        )
+    missing = [key for key in required if key not in args]
+    unknown = [
+        key for key in args
+        if key not in required and key not in optional
+    ]
+    if missing or unknown:
+        problems = []
+        if missing:
+            problems.append(f"missing {missing}")
+        if unknown:
+            problems.append(f"unknown {unknown}")
+        raise ScenarioError(
+            f"${kind}: {'; '.join(problems)} "
+            f"(takes {sorted(set(required) | set(optional))})"
+        )
+    return args
+
+
+def _make_distribution(kind, args):
+    from ..stats import (
+        Constant,
+        Geometric,
+        Poisson,
+        PowerLaw,
+        TruncatedGeometric,
+        Uniform,
+        Zipf,
+    )
+
+    if kind == "zipf":
+        args = _require_args(kind, args, ("exponent", "max"))
+        return Zipf(float(args["exponent"]), int(args["max"]))
+    if kind == "uniform_degree":
+        args = _require_args(kind, args, ("max",))
+        return Uniform(int(args["max"]))
+    if kind == "geometric":
+        args = _require_args(kind, args, ("p", "max"),
+                             optional=("truncated",))
+        cls = (
+            TruncatedGeometric if args.get("truncated", True)
+            else Geometric
+        )
+        return cls(float(args["p"]), int(args["max"]))
+    if kind == "poisson":
+        args = _require_args(kind, args, ("lam", "max"))
+        return Poisson(float(args["lam"]), int(args["max"]))
+    if kind == "powerlaw":
+        args = _require_args(kind, args, ("gamma", "xmin", "xmax"))
+        return PowerLaw(
+            float(args["gamma"]), int(args["xmin"]), int(args["xmax"])
+        )
+    if kind == "constant_degree":
+        args = _require_args(kind, args, ("value",), optional=("max",))
+        value = int(args["value"])
+        return Constant(value, int(args.get("max", value)))
+    return None
+
+
+def _make_dataset(args):
+    from ..datasets import (
+        INTERESTS,
+        TOPICS,
+        VOCABULARY,
+        conditional_name_table,
+        country_names,
+        country_weights,
+    )
+
+    args = _require_args("dataset", args, ("name",),
+                         optional=("limit",))
+    name = args["name"]
+    tables = {
+        "countries": country_names,
+        "country_weights": country_weights,
+        "interests": lambda: list(INTERESTS),
+        "topics": lambda: list(TOPICS),
+        "vocabulary": lambda: list(VOCABULARY),
+        "name_table": conditional_name_table,
+    }
+    if name not in tables:
+        raise ScenarioError(
+            f"$dataset: unknown dataset {name!r}; "
+            f"available: {sorted(tables)}"
+        )
+    value = tables[name]()
+    limit = args.get("limit")
+    if limit is not None:
+        if name == "name_table":
+            raise ScenarioError("$dataset: name_table takes no limit")
+        value = value[: int(limit)]
+    return value
+
+
+class _JointContext:
+    """Marginal lookup for $homophily/$affinity inside an edge spec."""
+
+    def __init__(self, spec, edge_name):
+        self.spec = spec
+        self.edge_name = edge_name
+
+    def _categorical(self, type_name, prop_name, where):
+        nodes = self.spec.nodes
+        prop = (
+            nodes.get(type_name, {})
+            .get("properties", {})
+            .get(prop_name)
+        )
+        if not prop or prop.get("generator") != "categorical":
+            raise ScenarioError(
+                f"{where}: property {type_name}.{prop_name} must be "
+                "a 'categorical' generator with values/weights to "
+                "derive a joint marginal"
+            )
+        params = _resolve_value(
+            prop.get("params", {}), self.spec, self.edge_name
+        )
+        values = params.get("values")
+        if values is None:
+            raise ScenarioError(
+                f"{where}: categorical {type_name}.{prop_name} "
+                "declares no values"
+            )
+        weights = params.get("weights")
+        if weights is None:
+            weights = [1.0] * len(values)
+        weights = np.asarray(weights, dtype=np.float64)
+        return list(values), weights / weights.sum()
+
+    def tail_marginal(self, where):
+        edge = self.spec.edges[self.edge_name]
+        corr = edge.get("correlation") or {}
+        prop = corr.get("property")
+        if prop is None:
+            raise ScenarioError(
+                f"{where}: needs `correlation.property` on edge "
+                f"{self.edge_name!r} to derive the marginal"
+            )
+        return self._categorical(edge["tail"], prop, where)
+
+    def head_marginal(self, where):
+        edge = self.spec.edges[self.edge_name]
+        corr = edge.get("correlation") or {}
+        prop = corr.get("head_property") or corr.get("property")
+        return self._categorical(edge["head"], prop, where)
+
+
+def _make_joint(kind, args, spec, edge_name, bipartite):
+    from ..stats import JointDistribution, homophily_joint
+
+    where = f"edges.{edge_name}.${kind}"
+    context = _JointContext(spec, edge_name)
+    if kind == "homophily":
+        args = _require_args(kind, args, ("affinity",),
+                             optional=("weights",))
+        if bipartite:
+            # A homophilous joint is square, so both endpoint domains
+            # must agree — catch the mismatch here with a recipe path
+            # instead of deep inside the matching step.
+            tail_values, _ = context.tail_marginal(where)
+            head_values, _ = context.head_marginal(where)
+            if list(tail_values) != list(head_values):
+                raise ScenarioError(
+                    f"{where}: tail and head categories differ "
+                    f"({len(tail_values)} vs {len(head_values)} "
+                    "values); use $matrix for asymmetric domains"
+                )
+        if "weights" in args:
+            weights = np.asarray(args["weights"], dtype=np.float64)
+            marginal = weights / weights.sum()
+        else:
+            _, marginal = context.tail_marginal(where)
+        joint = homophily_joint(marginal, float(args["affinity"]))
+        return joint.matrix if bipartite else joint
+    if kind == "affinity":
+        args = _require_args(kind, args, ("affinity",))
+        tail_values, tail_m = context.tail_marginal(where)
+        head_values, head_m = context.head_marginal(where)
+        if list(tail_values) != list(head_values):
+            raise ScenarioError(
+                f"{where}: tail and head categories differ; use "
+                "$matrix for asymmetric domains"
+            )
+        a = float(args["affinity"])
+        matrix = (
+            a * np.diag(tail_m)
+            + (1.0 - a) * np.outer(tail_m, head_m)
+        )
+        matrix = matrix / matrix.sum()
+        if bipartite:
+            return matrix
+        return JointDistribution((matrix + matrix.T) / 2.0)
+    if kind == "matrix":
+        matrix = np.asarray(args, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ScenarioError(
+                f"{where}: $matrix needs a 2-D list of rows"
+            )
+        if bipartite:
+            return matrix / matrix.sum()
+        return JointDistribution(matrix)
+    return None
+
+
+_DISTRIBUTION_KINDS = (
+    "zipf", "uniform_degree", "geometric", "poisson", "powerlaw",
+    "constant_degree",
+)
+_JOINT_KINDS = ("homophily", "affinity", "matrix")
+
+
+def _resolve_value(value, spec, edge_name=None, bipartite=False):
+    """Recursively resolve ``$constructor`` mappings inside ``value``."""
+    if isinstance(value, list):
+        return [
+            _resolve_value(v, spec, edge_name, bipartite)
+            for v in value
+        ]
+    if not isinstance(value, dict):
+        return value
+    if len(value) == 1:
+        (key, args), = value.items()
+        if isinstance(key, str) and key.startswith("$"):
+            kind = key[1:]
+            if kind in _DISTRIBUTION_KINDS:
+                return _make_distribution(kind, args)
+            if kind == "dataset":
+                return _make_dataset(args)
+            if kind in _JOINT_KINDS:
+                if edge_name is None:
+                    raise ScenarioError(
+                        f"${kind} is only valid inside an edge spec"
+                    )
+                return _make_joint(
+                    kind, _resolve_value(args, spec, edge_name,
+                                         bipartite)
+                    if kind == "matrix" else args,
+                    spec, edge_name, bipartite,
+                )
+            raise ScenarioError(
+                f"unknown constructor ${kind}; available: "
+                f"{sorted(('dataset',) + _DISTRIBUTION_KINDS + _JOINT_KINDS)}"
+            )
+    return {
+        k: _resolve_value(v, spec, edge_name, bipartite)
+        for k, v in value.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Lowering to the core schema
+# ---------------------------------------------------------------------------
+
+def _check_generator_names(spec):
+    from ..properties.registry import available_property_generators
+    from ..structure.registry import available_generators
+
+    pg_names = available_property_generators()
+    sg_names = available_generators()
+    problems = []
+    for type_name, node in spec.nodes.items():
+        for prop, body in (node or {}).get("properties", {}).items():
+            name = body.get("generator")
+            if name not in pg_names:
+                problems.append(
+                    f"nodes.{type_name}.properties.{prop}: unknown "
+                    f"property generator {name!r}"
+                )
+    for edge_name, edge in spec.edges.items():
+        name = edge.get("structure", {}).get("generator")
+        if name not in sg_names:
+            problems.append(
+                f"edges.{edge_name}.structure: unknown structure "
+                f"generator {name!r}"
+            )
+        for prop, body in edge.get("properties", {}).items():
+            pg = body.get("generator")
+            if pg not in pg_names:
+                problems.append(
+                    f"edges.{edge_name}.properties.{prop}: unknown "
+                    f"property generator {pg!r}"
+                )
+    if problems:
+        raise ScenarioError(
+            "invalid recipe: " + "; ".join(problems)
+        )
+
+
+def _compile_properties(owner_path, properties, spec, edge_name=None):
+    compiled = []
+    for name, body in properties.items():
+        params = _resolve_value(
+            body.get("params", {}), spec, edge_name
+        )
+        compiled.append(
+            PropertyDef(
+                name,
+                body.get("dtype", "string"),
+                GeneratorSpec(body["generator"], params),
+                depends_on=tuple(body.get("depends_on", [])),
+            )
+        )
+    return compiled
+
+
+def _compile_edge(name, edge, spec):
+    bipartite = edge["tail"] != edge["head"]
+    structure = edge["structure"]
+    structure_params = _resolve_value(
+        structure.get("params", {}), spec, name, bipartite
+    )
+    correlation = None
+    corr = edge.get("correlation")
+    if corr:
+        joint = _resolve_value(
+            corr["joint"], spec, name, bipartite
+        )
+        if isinstance(joint, dict):
+            raise ScenarioError(
+                f"edges.{name}.correlation.joint must be a "
+                "$homophily / $affinity / $matrix constructor"
+            )
+        values = corr.get("values")
+        if values is None:
+            context = _JointContext(spec, name)
+            values, _ = context.tail_marginal(
+                f"edges.{name}.correlation"
+            )
+        head_values = None
+        if bipartite:
+            context = _JointContext(spec, name)
+            head_values, _ = context.head_marginal(
+                f"edges.{name}.correlation"
+            )
+        correlation = CorrelationSpec(
+            tail_property=corr["property"],
+            joint=joint,
+            head_property=corr.get("head_property"),
+            values=tuple(values) if values is not None else None,
+            head_values=(
+                tuple(head_values) if head_values is not None
+                else None
+            ),
+        )
+    return EdgeType(
+        name,
+        tail_type=edge["tail"],
+        head_type=edge["head"],
+        cardinality=Cardinality.parse(
+            edge.get("cardinality", "*..*")
+        ),
+        structure=GeneratorSpec(
+            structure["generator"], structure_params
+        ),
+        properties=_compile_properties(
+            f"edges.{name}", edge.get("properties", {}), spec, name
+        ),
+        correlation=correlation,
+        directed=bool(edge.get("directed", False)),
+    )
+
+
+@dataclass
+class CompiledScenario:
+    """A recipe lowered onto the core objects, ready to run."""
+
+    spec: ScenarioSpec
+    schema: Schema
+    scale: dict
+    seed: int
+    name: str = ""
+    description: str = ""
+    graded_checks: list = field(default_factory=list)
+
+    def checks(self):
+        """The graded validation checks (copy)."""
+        return list(self.graded_checks)
+
+    def generator(self, workers=1):
+        """A :class:`~repro.core.engine.GraphGenerator` for this
+        scenario."""
+        return GraphGenerator(
+            self.schema, self.scale, seed=self.seed, workers=workers
+        )
+
+
+def _graded_checks(spec, schema):
+    """Derive the graded audit from the schema + recipe thresholds."""
+    checks = []
+    joint_warn = spec.threshold("joint_ks", "warn")
+    joint_fail = spec.threshold("joint_ks", "fail")
+    tv_warn = spec.threshold("marginal_tv", "warn")
+    tv_fail = spec.threshold("marginal_tv", "fail")
+
+    for edge in schema.edge_types.values():
+        if edge.cardinality is not Cardinality.MANY_TO_MANY:
+            checks.append(GradedCheck(CardinalityCheck(edge.name)))
+        if edge.correlation is not None \
+                and edge.correlation.head_property is None:
+            checks.append(GradedCheck(
+                JointDistributionCheck(edge.name, max_ks=joint_fail),
+                JointDistributionCheck(edge.name, max_ks=joint_warn),
+            ))
+        for prop in edge.properties:
+            if prop.generator is None \
+                    or prop.generator.name != "after_dependency":
+                continue
+            tail_prop = head_prop = None
+            for dep in prop.depends_on:
+                if dep.startswith("tail."):
+                    tail_prop = dep[len("tail."):]
+                elif dep.startswith("head."):
+                    head_prop = dep[len("head."):]
+            if tail_prop or head_prop:
+                checks.append(GradedCheck(DateOrderingCheck(
+                    edge.name, prop.name,
+                    tail_property=tail_prop, head_property=head_prop,
+                )))
+
+    for node in schema.node_types.values():
+        for prop in node.properties:
+            if prop.generator is None \
+                    or prop.generator.name != "categorical":
+                continue
+            params = prop.generator.params
+            if "values" in params and params.get("weights") is not None:
+                checks.append(GradedCheck(
+                    MarginalDistributionCheck(
+                        node.name, prop.name, params["values"],
+                        params["weights"], tolerance=tv_fail,
+                    ),
+                    MarginalDistributionCheck(
+                        node.name, prop.name, params["values"],
+                        params["weights"], tolerance=tv_warn,
+                    ),
+                ))
+
+    degrees = spec.validation.get("degrees") or {}
+    for edge_name, bounds in degrees.items():
+        fail = DegreeDistributionCheck(
+            edge_name,
+            min_mean=bounds.get("min_mean"),
+            max_mean=bounds.get("max_mean"),
+            max_degree=bounds.get("max_degree"),
+        )
+        warn = None
+        if bounds.get("warn_min_mean") is not None \
+                or bounds.get("warn_max_mean") is not None:
+            warn = DegreeDistributionCheck(
+                edge_name,
+                min_mean=bounds.get("warn_min_mean"),
+                max_mean=bounds.get("warn_max_mean"),
+            )
+        checks.append(GradedCheck(fail, warn))
+
+    for column in spec.validation.get("unique") or []:
+        type_name, _, prop_name = str(column).partition(".")
+        if not prop_name:
+            raise ScenarioError(
+                f"validation.unique: expected 'Type.property', "
+                f"got {column!r}"
+            )
+        checks.append(GradedCheck(
+            UniquenessCheck(type_name, prop_name)
+        ))
+    return checks
+
+
+def compile_scenario(spec, scale=None, seed=None):
+    """Lower ``spec`` (a :class:`ScenarioSpec`, recipe dict, or recipe
+    text) to a :class:`CompiledScenario`.
+
+    ``scale`` entries override the recipe's anchors; ``seed`` overrides
+    the recipe's seed.
+    """
+    if isinstance(spec, str):
+        spec = ScenarioSpec.from_text(spec)
+    elif isinstance(spec, dict):
+        spec = ScenarioSpec.from_dict(spec)
+    _check_generator_names(spec)
+    node_types = [
+        NodeType(
+            name,
+            properties=_compile_properties(
+                f"nodes.{name}",
+                (node or {}).get("properties", {}),
+                spec,
+            ),
+        )
+        for name, node in spec.nodes.items()
+    ]
+    schema = Schema(node_types=node_types)
+    for name, edge in spec.edges.items():
+        schema.add_edge_type(_compile_edge(name, edge, spec))
+    final_scale = dict(spec.scale)
+    if scale:
+        final_scale.update(scale)
+    if not final_scale:
+        raise ScenarioError(
+            f"scenario {spec.name!r} has no scale anchors; add a "
+            "`scale:` block or pass --scale TYPE=COUNT"
+        )
+    return CompiledScenario(
+        spec=spec,
+        schema=schema,
+        scale=final_scale,
+        seed=spec.seed if seed is None else int(seed),
+        name=spec.name,
+        description=spec.description,
+        graded_checks=_graded_checks(spec, schema),
+    )
+
+
+def run_scenario(compiled, workers=1, out_dir=None, formats=None,
+                 chunk_size=None, compress=None, validate=True):
+    """Generate, export, and grade a compiled scenario.
+
+    Parameters
+    ----------
+    compiled:
+        a :class:`CompiledScenario` (or anything
+        :func:`compile_scenario` accepts).
+    workers:
+        process-pool size; output is bit-identical for any value.
+    out_dir:
+        export directory; ``None`` skips export.  The first format
+        streams *during* generation, remaining formats export from the
+        finished graph — all byte-identical to a serial run.
+    formats, chunk_size, compress:
+        override the recipe's ``export`` block.
+    validate:
+        run the graded audit (returns ``None`` report when False).
+
+    Returns ``(graph, report, written)`` — the generated
+    :class:`~repro.core.result.PropertyGraph`, the
+    :class:`~repro.scenarios.report.GradedReport` (or ``None``), and
+    the list of written export paths.
+    """
+    import os
+
+    from ..io import export_graph, make_sink
+
+    if not isinstance(compiled, CompiledScenario):
+        compiled = compile_scenario(compiled)
+    spec = compiled.spec
+    formats = list(formats or spec.export_formats or ["csv"])
+    chunk_size = (
+        spec.export_chunk_size if chunk_size is None else chunk_size
+    )
+    compress = (
+        spec.export_compress if compress is None else compress
+    )
+    written = []
+    sink = None
+    if out_dir is not None:
+        primary_dir = (
+            os.path.join(out_dir, formats[0])
+            if len(formats) > 1 else out_dir
+        )
+        sink = make_sink(
+            formats[0], primary_dir,
+            chunk_size=chunk_size, compress=compress,
+        )
+    graph = compiled.generator(workers=workers).generate(sink=sink)
+    if sink is not None:
+        written.extend(sink.written)
+        for extra in formats[1:]:
+            extra_sink = make_sink(
+                extra, os.path.join(out_dir, extra),
+                chunk_size=chunk_size, compress=compress,
+            )
+            written.extend(export_graph(graph, extra_sink))
+    report = None
+    if validate:
+        report = run_graded(
+            graph, compiled.graded_checks,
+            scenario=compiled.name, seed=compiled.seed,
+            scale=compiled.scale,
+        )
+    return graph, report, written

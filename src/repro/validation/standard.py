@@ -22,7 +22,30 @@ __all__ = ["standard_checks"]
 
 
 def standard_checks(schema, joint_max_ks=0.6, marginal_tolerance=0.05):
-    """Derive the default audit from schema declarations."""
+    """Derive the default audit from schema declarations.
+
+    Parameters
+    ----------
+    schema:
+        the :class:`~repro.core.schema.Schema` whose declarations
+        (cardinalities, ``after_dependency`` properties, weighted
+        ``categorical`` properties, correlations) imply the checks.
+    joint_max_ks, marginal_tolerance:
+        thresholds handed to the generated
+        :class:`~repro.validation.JointDistributionCheck` /
+        :class:`~repro.validation.MarginalDistributionCheck`.
+
+    Examples
+    --------
+    The running example implies six checks:
+
+    >>> from repro.datasets import social_network_schema
+    >>> checks = standard_checks(social_network_schema())
+    >>> [c.name for c in checks]      # doctest: +NORMALIZE_WHITESPACE
+    ['joint[knows]', 'date_ordering[knows.creationDate]',
+     'cardinality[creates]', 'date_ordering[creates.creationDate]',
+     'marginal[Person.country]', 'marginal[Person.sex]']
+    """
     from ..core.schema import Cardinality
 
     checks = []

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Markdown link checker (stdlib-only), used by the CI docs job.
+
+Scans the given markdown files for inline links/images
+(``[text](target)``) and reference definitions (``[id]: target``),
+and verifies every *relative* target resolves to an existing file or
+directory (anchors are stripped; ``http(s)``/``mailto`` targets are
+skipped — CI must not depend on the network).  Heading anchors within
+the same file (``#section``) are checked against the file's headings.
+
+Usage::
+
+    python tools/check_links.py README.md DESIGN.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def heading_anchors(text):
+    """GitHub-style anchors for every heading in ``text``."""
+    anchors = set()
+    for match in HEADING.finditer(text):
+        title = re.sub(r"[`*_]", "", match.group(1))
+        slug = re.sub(r"[^\w\s§-]", "", title.lower())
+        slug = re.sub(r"[\s]+", "-", slug.strip())
+        anchors.add(slug)
+    return anchors
+
+
+def check_file(path):
+    import os
+
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    prose = FENCE.sub("", text)  # links inside code fences are samples
+    base = os.path.dirname(os.path.abspath(path))
+    problems = []
+    targets = [m.group(1) for m in INLINE_LINK.finditer(prose)]
+    targets += REF_DEF.findall(prose)
+    for target in targets:
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+            continue
+        file_part, _, anchor = target.partition("#")
+        if not file_part:
+            if anchor and anchor not in heading_anchors(text):
+                problems.append(f"{path}: broken anchor #{anchor}")
+            continue
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            problems.append(f"{path}: broken link {target!r}")
+        elif anchor and resolved.endswith(".md"):
+            with open(resolved, encoding="utf-8") as handle:
+                if anchor not in heading_anchors(handle.read()):
+                    problems.append(
+                        f"{path}: broken anchor {target!r}"
+                    )
+    return problems
+
+
+def main(argv):
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]")
+        return 2
+    problems = []
+    for path in argv:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"checked {len(argv)} files: all links resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Execute documentation shell snippets marked runnable (CI docs job).
+
+A snippet is runnable when the fenced ``bash`` block is immediately
+preceded by an HTML comment marker::
+
+    <!-- runnable -->
+    ```bash
+    python -m repro.cli scenario list
+    ```
+
+Each runnable snippet runs in its own ``bash -e`` process from the
+repository root with ``PYTHONPATH`` including ``src``, so snippets are
+copy-pasteable exactly as documented.  Any nonzero exit fails the run.
+
+Usage::
+
+    python tools/run_doc_snippets.py README.md docs/scenarios.md
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+MARKER = "<!-- runnable -->"
+
+
+def extract_snippets(path):
+    """``(line_number, script)`` pairs of runnable bash blocks."""
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    snippets = []
+    i = 0
+    while i < len(lines):
+        if lines[i].strip() == MARKER:
+            j = i + 1
+            while j < len(lines) and not lines[j].strip():
+                j += 1
+            if j < len(lines) and lines[j].strip().startswith(
+                "```bash"
+            ):
+                body = []
+                j += 1
+                while j < len(lines) and lines[j].strip() != "```":
+                    body.append(lines[j])
+                    j += 1
+                snippets.append((i + 1, "\n".join(body)))
+                i = j
+        i += 1
+    return snippets
+
+
+def main(argv):
+    if not argv:
+        print("usage: run_doc_snippets.py FILE.md [FILE.md ...]")
+        return 2
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    env = dict(os.environ)
+    src = os.path.join(repo_root, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    total = failed = 0
+    for path in argv:
+        for line, script in extract_snippets(path):
+            total += 1
+            print(f"--- {path}:{line}")
+            print("\n".join(
+                f"    $ {l}" for l in script.splitlines() if l.strip()
+            ))
+            result = subprocess.run(
+                ["bash", "-e", "-c", script],
+                cwd=repo_root, env=env,
+            )
+            if result.returncode != 0:
+                failed += 1
+                print(f"    FAILED (exit {result.returncode})")
+    print(f"ran {total} snippets, {failed} failed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
