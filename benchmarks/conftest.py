@@ -74,16 +74,36 @@ def bench_recorder():
     return _RECORDER
 
 
+def _git_sha():
+    """Short commit hash of HEAD, or "unknown" outside a checkout."""
+    import subprocess
+
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except Exception:
+        return "unknown"
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else "unknown"
+
+
 def pytest_sessionfinish(session, exitstatus):
     out = session.config.getoption("--json-out")
     if not out or not _RECORDER.rows:
         return
+    import numpy
+
     from repro.experiments import profile_name
 
     payload = {
         "schema": "repro-bench/1",
         "profile": profile_name(),
         "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "git_sha": _git_sha(),
         "machine": platform.machine(),
         "rows": _RECORDER.rows,
     }

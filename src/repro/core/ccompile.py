@@ -1,0 +1,87 @@
+"""Shared compile-and-cache helper for optional C inner loops.
+
+Two subsystems embed a C hot loop and call it through ``ctypes``: the
+streaming-placement matcher (``core/matching/_ckernel.py``) and the
+attribute-generation kernels (``properties/_ckernel.py``).  Both follow
+the same zero-install contract — compile with the system ``cc`` on
+first use into a per-user cache, and fall back to numpy silently on
+any failure — so the machinery lives here once.
+
+Environment knobs (shared by every embedded kernel):
+
+``REPRO_NO_CKERNEL=1``
+    disables compiled kernels entirely.
+``CC``
+    overrides the compiler.
+``REPRO_CKERNEL_CACHE``
+    sets the shared-object cache directory (default: a per-user
+    directory under the system temp dir).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import getpass
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+__all__ = ["compile_cached", "ckernels_disabled"]
+
+
+def ckernels_disabled():
+    """True when the user opted out of compiled kernels."""
+    return bool(os.environ.get("REPRO_NO_CKERNEL"))
+
+
+def _cache_dir():
+    configured = os.environ.get("REPRO_CKERNEL_CACHE")
+    if configured:
+        return Path(configured)
+    try:
+        user = getpass.getuser()
+    except Exception:  # pragma: no cover - exotic hosts
+        user = "anon"
+    return Path(tempfile.gettempdir()) / f"repro-ckernel-{user}"
+
+
+def compile_cached(source, prefix):
+    """Compile C ``source`` to a cached shared object; return the CDLL.
+
+    The cache key is a hash of the source, so editing the embedded C
+    transparently recompiles.  Returns ``None`` when no compiler is on
+    PATH; raises on compile errors (callers catch and fall back).
+    """
+    compiler = (
+        os.environ.get("CC")
+        or shutil.which("cc")
+        or shutil.which("gcc")
+        or shutil.which("clang")
+    )
+    if not compiler:
+        return None
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"{prefix}-{digest}.so"
+    if not so_path.exists():
+        cache.mkdir(parents=True, exist_ok=True)
+        src_path = cache / f"{prefix}-{digest}.c"
+        src_path.write_text(source)
+        fd, tmp_so = tempfile.mkstemp(
+            suffix=".so", prefix=f"{prefix}-", dir=cache
+        )
+        os.close(fd)
+        try:
+            subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC",
+                 "-o", tmp_so, str(src_path)],
+                check=True, capture_output=True, timeout=120,
+            )
+            os.replace(tmp_so, so_path)
+        finally:
+            if os.path.exists(tmp_so):
+                os.unlink(tmp_so)
+    return ctypes.CDLL(str(so_path))

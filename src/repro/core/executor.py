@@ -38,6 +38,7 @@ from concurrent.futures import (
 
 import numpy as np
 
+from ..properties.registry import create_property_generator
 from .dependency import DependencyError, build_task_graph
 from .parallel import shard_ranges
 from .result import PropertyGraph
@@ -167,6 +168,28 @@ class ParallelExecutor:
         )
         return shard_ranges(count, max(1, num_shards))
 
+    def _shard_buffer(self, spec, count):
+        """Whole-table output buffer for a sharded property task.
+
+        Only the thread backend shares memory with its workers, so
+        only there can shards write ``out=`` slices of one
+        preallocated array — the allocation-free assembly path (no
+        per-shard arrays, no ``np.concatenate`` copy).  Process
+        workers return pickled copies regardless, and the buffer's
+        dtype comes from the generator's ``output_dtype``, which the
+        empty-``run_many`` contract already requires to be accurate.
+        """
+        if self.backend != "thread":
+            return None
+        generator = create_property_generator(spec.name, **spec.params)
+        if not getattr(generator, "supports_out", False):
+            # Generators without the out= contract (third-party PGs,
+            # formula) may return a dtype their output_dtype doesn't
+            # declare; keep those on the concatenate path so the
+            # assembled dtype matches single-shot generation.
+            return None
+        return np.empty(count, dtype=generator.output_dtype())
+
     def _run_pooled(self, pool, graph, order, result, structures,
                     sink=None):
         position = {task.task_id: i for i, task in enumerate(order)}
@@ -181,6 +204,7 @@ class ParallelExecutor:
         pending = {}  # future -> (task, shard_index | None)
         shard_parts = {}  # task_id -> list of shard outputs
         shard_missing = {}  # task_id -> outstanding shard count
+        shard_buffers = {}  # task_id -> preallocated whole-table array
         export_cursor = 0  # next plan-order task to announce to sink
 
         def advance_exports():
@@ -225,15 +249,21 @@ class ParallelExecutor:
                 )
                 spec, count, deps = inputs
                 shards = self._plan_shards(count)
+                buffer = None
                 if len(shards) > 1:
-                    shard_parts[task.task_id] = [None] * len(shards)
                     shard_missing[task.task_id] = len(shards)
+                    buffer = self._shard_buffer(spec, count)
+                    if buffer is None:
+                        shard_parts[task.task_id] = [None] * len(shards)
+                    else:
+                        shard_buffers[task.task_id] = buffer
                 for index, (start, stop) in enumerate(shards):
                     slices = [col[start:stop] for col in deps]
                     future = pool.submit(
                         property_shard_values,
                         spec, task.task_id, self.seed,
                         start, stop, slices,
+                        None if buffer is None else buffer[start:stop],
                     )
                     pending[future] = (
                         task, index if len(shards) > 1 else None
@@ -287,9 +317,16 @@ class ParallelExecutor:
                 if shard_index is None:
                     complete(task, value)
                     continue
+                shard_missing[task.task_id] -= 1
+                if task.task_id in shard_buffers:
+                    # Thread backend: the shard wrote its slice of the
+                    # shared whole-table buffer; nothing to merge.
+                    if shard_missing[task.task_id] == 0:
+                        del shard_missing[task.task_id]
+                        complete(task, shard_buffers.pop(task.task_id))
+                    continue
                 parts = shard_parts[task.task_id]
                 parts[shard_index] = value
-                shard_missing[task.task_id] -= 1
                 if shard_missing[task.task_id] == 0:
                     del shard_missing[task.task_id]
                     del shard_parts[task.task_id]

@@ -23,24 +23,18 @@ Semantics match the numpy kernel exactly:
 * ties are enumerated in ascending group order with the same
   pre-drawn uniform consumed the same way.
 
-Environment knobs: ``REPRO_NO_CKERNEL=1`` disables this module
-entirely; ``CC`` overrides the compiler; ``REPRO_CKERNEL_CACHE`` sets
-the shared-object cache directory (default: a per-user directory under
-the system temp dir).
+Compilation, caching and the environment knobs
+(``REPRO_NO_CKERNEL``, ``CC``, ``REPRO_CKERNEL_CACHE``) are shared
+with the attribute kernels via :mod:`repro.core.ccompile`.
 """
 
 from __future__ import annotations
 
 import ctypes
-import getpass
-import hashlib
-import os
-import shutil
-import subprocess
-import tempfile
-from pathlib import Path
 
 import numpy as np
+
+from ..ccompile import ckernels_disabled, compile_cached
 
 __all__ = ["load_ckernel"]
 
@@ -405,50 +399,6 @@ _LOADED = False
 _KERNEL = None
 
 
-def _cache_dir():
-    configured = os.environ.get("REPRO_CKERNEL_CACHE")
-    if configured:
-        return Path(configured)
-    try:
-        user = getpass.getuser()
-    except Exception:  # pragma: no cover - exotic hosts
-        user = "anon"
-    return Path(tempfile.gettempdir()) / f"repro-ckernel-{user}"
-
-
-def _compile():
-    compiler = (
-        os.environ.get("CC")
-        or shutil.which("cc")
-        or shutil.which("gcc")
-        or shutil.which("clang")
-    )
-    if not compiler:
-        return None
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    cache = _cache_dir()
-    so_path = cache / f"matchkernel-{digest}.so"
-    if not so_path.exists():
-        cache.mkdir(parents=True, exist_ok=True)
-        src_path = cache / f"matchkernel-{digest}.c"
-        src_path.write_text(_SOURCE)
-        fd, tmp_so = tempfile.mkstemp(
-            suffix=".so", prefix="matchkernel-", dir=cache
-        )
-        os.close(fd)
-        try:
-            subprocess.run(
-                [compiler, "-O2", "-shared", "-fPIC",
-                 "-o", tmp_so, str(src_path)],
-                check=True, capture_output=True, timeout=120,
-            )
-            os.replace(tmp_so, so_path)
-        finally:
-            if os.path.exists(tmp_so):
-                os.unlink(tmp_so)
-    return ctypes.CDLL(str(so_path))
-
-
 def load_ckernel():
     """The compiled kernel, or ``None`` when unavailable.
 
@@ -460,10 +410,10 @@ def load_ckernel():
     if _LOADED:
         return _KERNEL
     _LOADED = True
-    if os.environ.get("REPRO_NO_CKERNEL"):
+    if ckernels_disabled():
         return None
     try:
-        lib = _compile()
+        lib = compile_cached(_SOURCE, "matchkernel")
         _KERNEL = _CKernel(lib) if lib is not None else None
     except Exception:
         _KERNEL = None

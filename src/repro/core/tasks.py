@@ -63,7 +63,9 @@ _PREP_KEY = "__match_prep__:"
 # -- kernels (picklable inputs; safe to run in worker processes) -------------
 
 
-def property_shard_values(spec, task_id, seed, start, stop, dep_slices=()):
+def property_shard_values(
+    spec, task_id, seed, start, stop, dep_slices=(), out=None
+):
     """Values of the id range ``[start, stop)`` of one property table.
 
     ``dep_slices`` are the dependency columns *aligned with the range*
@@ -73,12 +75,24 @@ def property_shard_values(spec, task_id, seed, start, stop, dep_slices=()):
     outputs is bit-identical to single-shot generation — including the
     dtype when the range is empty, which the generator's
     ``output_dtype`` governs via its empty ``run_many`` result.
+
+    ``out`` is an optional preallocated buffer view for the range
+    (shared-memory backends only): generators that declare
+    ``supports_out`` fill it in place, so the executor assembles a
+    sharded table without a concatenation copy.  Generators without
+    the flag — e.g. third-party PGs — transparently fall back to the
+    allocating path, with the result copied into ``out`` here.
     """
     generator = create_property_generator(spec.name, **spec.params)
     stream = RandomStream(derive_seed(seed, task_id))
     ids = np.arange(start, stop, dtype=np.int64)
     deps = [np.asarray(col) for col in dep_slices]
-    return generator.run_many(ids, stream, *deps)
+    if out is None:
+        return generator.run_many(ids, stream, *deps)
+    if getattr(generator, "supports_out", False):
+        return generator.run_many(ids, stream, *deps, out=out)
+    out[:] = generator.run_many(ids, stream, *deps)
+    return out
 
 
 def generate_structure(spec, sg_seed, n):

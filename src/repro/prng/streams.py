@@ -9,6 +9,19 @@ mutually independent (Section 4.1 of the paper).
 Streams also provide convenience conversions (floats in [0, 1), bounded
 integers, permutation sampling) that property and structure generators
 need, all vectorised and all derived from the same O(1)-access core.
+
+Two access patterns exist:
+
+* **flat** — one draw per instance id (``uniform(ids)``): one SplitMix
+  pass over the id array.
+* **ragged** — a *variable* number of draws per instance id
+  (``uniform_ragged(ids, lengths)``): instance ``i`` needs
+  ``lengths[i]`` draws, e.g. the words of a sentence or the picks of a
+  multi-valued property.  The ragged API computes every per-instance
+  substream seed and every draw in a single vectorised pass, returning
+  a flat array plus segment offsets — bit-identical to building
+  ``indexed_substream(i)`` objects one at a time, without the N Python
+  objects.
 """
 
 from __future__ import annotations
@@ -128,6 +141,77 @@ class RandomStream:
                       ^ (np.uint64(index) * GOLDEN_GAMMA))
             )
         return RandomStream(child)
+
+    # -- batched ragged draws ---------------------------------------------
+
+    def indexed_substream_seeds(self, index):
+        """Seeds of ``indexed_substream(i)`` for every ``i`` in ``index``.
+
+        One vectorised SplitMix pass replacing N Python stream objects:
+        ``indexed_substream_seeds(ids)[j] == indexed_substream(ids[j]).seed``
+        bit-for-bit.
+
+        Returns a ``uint64`` array shaped like ``index``.
+        """
+        idx = np.asarray(index).astype(np.uint64)
+        with np.errstate(over="ignore"):
+            return mix64(np.uint64(self.seed) ^ (idx * GOLDEN_GAMMA))
+
+    @staticmethod
+    def _ragged_offsets(index, lengths):
+        index = np.asarray(index, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.shape != index.shape:
+            raise ValueError("lengths must align with index")
+        if lengths.size and lengths.min() < 0:
+            raise ValueError("lengths must be nonnegative")
+        offsets = np.zeros(index.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return index, lengths, offsets
+
+    def raw_ragged(self, index, lengths):
+        """Raw 64-bit draws, ``lengths[i]`` of them per instance.
+
+        Returns ``(flat, offsets)`` where
+        ``flat[offsets[i]:offsets[i + 1]]`` equals
+        ``indexed_substream(index[i]).raw(np.arange(lengths[i]))`` —
+        the per-instance substream draws, computed as one SplitMix pass
+        over the flattened positions.
+        """
+        index, lengths, offsets = self._ragged_offsets(index, lengths)
+        seeds = self.indexed_substream_seeds(index)
+        total = int(offsets[-1])
+        position = np.arange(total, dtype=np.uint64)
+        # Position within each segment: global position minus the
+        # segment start, so draw j of instance i indexes its substream
+        # at j exactly as the scalar path does.
+        position -= np.repeat(
+            offsets[:-1].astype(np.uint64), lengths
+        )
+        with np.errstate(over="ignore"):
+            state = (
+                np.repeat(seeds, lengths)
+                + (position + np.uint64(1)) * GOLDEN_GAMMA
+            )
+        return mix64(state), offsets
+
+    def uniform_ragged(self, index, lengths):
+        """Uniform float64 in ``[0, 1)``, ``lengths[i]`` per instance.
+
+        The ragged counterpart of :meth:`uniform`; see
+        :meth:`raw_ragged` for the layout contract.
+
+        >>> r = RandomStream(9, "ragged")
+        >>> flat, offsets = r.uniform_ragged([4, 7], [2, 3])
+        >>> per_instance = r.indexed_substream(7).uniform(
+        ...     np.arange(3, dtype=np.int64))
+        >>> bool((flat[offsets[1]:offsets[2]] == per_instance).all())
+        True
+        """
+        bits, offsets = self.raw_ragged(index, lengths)
+        flat = (bits >> np.uint64(11)).astype(np.float64)
+        flat *= _DOUBLE_NORM
+        return flat, offsets
 
     def permutation(self, n):
         """Deterministic permutation of ``range(n)`` (Fisher-Yates).

@@ -34,6 +34,7 @@ class DateRangeGenerator(PropertyGenerator):
     """
 
     name = "date_range"
+    supports_out = True
 
     def parameter_names(self):
         return {"start", "end", "granularity"}
@@ -47,17 +48,20 @@ class DateRangeGenerator(PropertyGenerator):
         if gran not in ("second", "day"):
             raise ValueError("granularity must be 'second' or 'day'")
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         start = self._params.get("start")
         end = self._params.get("end")
         if start is None or end is None:
             raise ValueError("DateRangeGenerator needs 'start' and 'end'")
-        values = stream.randint(
-            np.asarray(ids, dtype=np.int64), int(start), int(end)
-        )
+        ids = np.asarray(ids, dtype=np.int64)
+        values = stream.randint(ids, int(start), int(end))
         if self._params.get("granularity", "second") == "day":
-            values = (values // _SECONDS_PER_DAY) * _SECONDS_PER_DAY
-        return values
+            np.floor_divide(values, _SECONDS_PER_DAY, out=values)
+            np.multiply(values, _SECONDS_PER_DAY, out=values)
+        if out is None:
+            return values
+        out[:] = values
+        return out
 
     def output_dtype(self):
         return np.dtype(np.int64)
@@ -74,6 +78,7 @@ class AfterDependencyGenerator(PropertyGenerator):
     """
 
     name = "after_dependency"
+    supports_out = True
 
     def parameter_names(self):
         return {"min_gap", "max_gap"}
@@ -89,19 +94,22 @@ class AfterDependencyGenerator(PropertyGenerator):
     def num_dependencies(self):
         return None  # one or more timestamp dependencies
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         if not dependency_arrays:
             raise ValueError(
                 "AfterDependencyGenerator needs at least one dependency"
             )
         ids = np.asarray(ids, dtype=np.int64)
-        base = np.asarray(dependency_arrays[0], dtype=np.int64)
+        # One reduction buffer (doubling as the output) instead of a
+        # fresh maximum per dependency.
+        acc = self._out_buffer(ids.size, out)
+        acc[:] = np.asarray(dependency_arrays[0], dtype=np.int64)
         for dep in dependency_arrays[1:]:
-            base = np.maximum(base, np.asarray(dep, dtype=np.int64))
+            np.maximum(acc, np.asarray(dep, dtype=np.int64), out=acc)
         min_gap = int(self._params.get("min_gap", 1))
         max_gap = int(self._params.get("max_gap", 365 * _SECONDS_PER_DAY))
-        offsets = stream.randint(ids, min_gap, max_gap)
-        return base + offsets
+        np.add(acc, stream.randint(ids, min_gap, max_gap), out=acc)
+        return acc
 
     def output_dtype(self):
         return np.dtype(np.int64)

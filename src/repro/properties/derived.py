@@ -1,4 +1,12 @@
-"""Derived-value generators: pure functions of dependencies."""
+"""Derived-value generators: pure functions of dependencies.
+
+These carry irreducible per-row Python work (a user callable, a dict
+probe), so the batched rewrite cannot remove the loop — it removes the
+loop's *overhead*: iteration runs over ``tolist()`` scalars / zipped
+columns into a list comprehension instead of indexing numpy arrays
+element by element, and missing-key handling uses a single sentinel
+``dict.get`` per row instead of two hash probes.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +15,8 @@ import numpy as np
 from .base import PropertyGenerator
 
 __all__ = ["FormulaGenerator", "LookupGenerator"]
+
+_MISSING = object()
 
 
 class FormulaGenerator(PropertyGenerator):
@@ -48,8 +58,12 @@ class FormulaGenerator(PropertyGenerator):
         if self._params.get("vectorized", False):
             return np.asarray(fn(*columns))
         out = np.empty(ids.size, dtype=self.output_dtype())
-        for i in range(ids.size):
-            out[i] = fn(*(col[i] for col in columns))
+        # zip over the arrays keeps the numpy scalar types the legacy
+        # indexing loop passed to the callable.
+        if columns:
+            out[:] = [fn(*args) for args in zip(*columns)]
+        else:
+            out[:] = [fn() for _ in range(ids.size)]
         return out
 
     def output_dtype(self):
@@ -63,6 +77,7 @@ class LookupGenerator(PropertyGenerator):
     """Map one dependency through a dict (with optional default)."""
 
     name = "lookup"
+    supports_out = True
 
     def parameter_names(self):
         return {"mapping", "default"}
@@ -75,21 +90,25 @@ class LookupGenerator(PropertyGenerator):
     def num_dependencies(self):
         return 1
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         mapping = self._params.get("mapping")
         if mapping is None:
             raise ValueError("LookupGenerator needs 'mapping'")
         if len(dependency_arrays) != 1:
             raise ValueError("LookupGenerator takes exactly one dependency")
         keys = np.asarray(dependency_arrays[0])
-        has_default = "default" in self._params
-        default = self._params.get("default")
-        out = np.empty(keys.size, dtype=object)
-        for i, key in enumerate(keys):
-            if key in mapping:
-                out[i] = mapping[key]
-            elif has_default:
-                out[i] = default
-            else:
-                raise KeyError(f"no mapping for {key!r} and no default")
+        out = self._out_buffer(keys.size, out, dtype=object)
+        fallback = (
+            self._params["default"] if "default" in self._params
+            else _MISSING
+        )
+        get = mapping.get
+        values = [get(key, fallback) for key in keys.tolist()]
+        if fallback is _MISSING:
+            for i, value in enumerate(values):
+                if value is _MISSING:
+                    raise KeyError(
+                        f"no mapping for {keys[i]!r} and no default"
+                    )
+        out[:] = values
         return out

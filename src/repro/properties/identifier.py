@@ -2,6 +2,12 @@
 
 "Passing the id to run allows the generation of user-controlled uuids
 that can be correlated with other properties such as the time."
+
+The batched rewrite draws both uuid halves as whole-array SplitMix
+passes (the legacy loop re-derived the ``"high"`` substream — a string
+hash — once *per row*) and assembles the hex strings with C-level
+``map``/``%``-formatting over ``tolist()`` scalars, the string
+strategy measured fastest in :mod:`repro.io.chunks`.
 """
 
 from __future__ import annotations
@@ -22,21 +28,24 @@ class UuidGenerator(PropertyGenerator):
     """
 
     name = "uuid"
+    supports_out = True
 
     def parameter_names(self):
         return {"time_ordered"}
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         ids = np.asarray(ids, dtype=np.int64)
         random_half = stream.raw(ids)
-        time_ordered = bool(self._params.get("time_ordered", False))
-        out = np.empty(ids.size, dtype=object)
-        for i in range(ids.size):
-            if time_ordered:
-                high = int(ids[i])
-            else:
-                high = int(stream.substream("high").raw(np.int64(ids[i])))
-            out[i] = f"{high & (2**64 - 1):016x}{int(random_half[i]):016x}"
+        if bool(self._params.get("time_ordered", False)):
+            high = (ids.astype(np.uint64)
+                    & np.uint64(2 ** 64 - 1)).tolist()
+        else:
+            high = stream.substream("high").raw(ids).tolist()
+        out = self._out_buffer(ids.size, out)
+        out[:] = [
+            "%016x%016x" % pair
+            for pair in zip(high, random_half.tolist())
+        ]
         return out
 
 
@@ -44,14 +53,15 @@ class CompositeKeyGenerator(PropertyGenerator):
     """Keys of the form ``prefix-<id>`` (human-readable surrogate keys)."""
 
     name = "composite_key"
+    supports_out = True
 
     def parameter_names(self):
         return {"prefix"}
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         prefix = str(self._params.get("prefix", "id"))
         ids = np.asarray(ids, dtype=np.int64)
-        out = np.empty(ids.size, dtype=object)
-        for i in range(ids.size):
-            out[i] = f"{prefix}-{int(ids[i])}"
+        out = self._out_buffer(ids.size, out)
+        stem = prefix + "-"
+        out[:] = [stem + s for s in map(str, ids.tolist())]
         return out

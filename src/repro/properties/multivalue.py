@@ -7,6 +7,28 @@ set size from a distribution and fills the set with weighted draws
 without replacement, all under the in-place contract (the whole set is
 a pure function of the instance id).
 
+Weighted sampling *without replacement* is the hard case for
+batching: every pick zeroes a weight that the next pick's cdf reads,
+so draws chain within an instance.  Two vectorised strategies are
+provided:
+
+* ``method="exact"`` (default) replays the legacy sequential
+  inverse-transform draws — pick ``d`` of instance ``i`` consumes
+  ``uniform(seed_i, d)`` against ``cumsum(remaining)/sum(remaining)``
+  — but processes *all instances per round* instead of all rounds per
+  instance: round ``d`` is one ``(rows, k)`` cumsum/compare pass over
+  a chunked scratch matrix (or one compiled C loop via
+  :mod:`repro.properties._ckernel`).  Values are bit-identical to the
+  frozen legacy generator; ``tests/golden/properties/`` pins this.
+* ``method="es"`` draws Efraimidis–Spirakis keys —
+  ``u_j ** (1 / w_j)`` per (instance, value), one flat ragged pass —
+  and takes the top ``size_i`` per instance.  Identical *distribution*
+  (Efraimidis & Spirakis 2006), one vectorised pass regardless of set
+  size, but a different draw-consumption pattern, so outputs are not
+  value-compatible with ``"exact"``; use it for fresh datasets where
+  replaying existing seeds does not matter and ``k`` is small enough
+  that ``n * k`` draws beat ``n * size`` rounds.
+
 The companion analysis function
 :func:`repro.stats.multivalue.empirical_multivalue_joint` measures the
 value-pair joint over edges for multi-valued labels, extending the
@@ -17,9 +39,122 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..prng.splitmix import GOLDEN_GAMMA, mix64
 from .base import PropertyGenerator
 
 __all__ = ["MultiValueGenerator"]
+
+_DOUBLE_NORM = 1.0 / (1 << 53)
+
+#: Scratch budget for the exact numpy path: rows are chunked so the
+#: per-round (rows, k) float64 matrices stay ~8 MB each.
+_SCRATCH_FLOATS = 1 << 20
+
+
+def _exact_picks_numpy(seeds, sizes, weights):
+    """Replay the legacy sequential weighted picks, batched by round.
+
+    Returns ``(codes, offsets)``: instance ``i``'s picks (in draw
+    order) at ``codes[offsets[i]:offsets[i + 1]]``.  Round ``d``
+    computes, for every instance still drawing, the exact float64
+    sequence of the legacy ``RandomStream.choice`` call — pairwise
+    ``sum`` for the total, sequential ``cumsum``, elementwise divide,
+    ``searchsorted(side="right")`` — as matrix rows.
+    """
+    n = seeds.size
+    k = weights.size
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    codes = np.empty(int(offsets[-1]), dtype=np.int64)
+    if n == 0 or codes.size == 0:
+        return codes, offsets
+    chunk = max(1, _SCRATCH_FLOATS // max(k, 1))
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        seeds_l = seeds[lo:hi]
+        sizes_l = sizes[lo:hi]
+        starts_l = offsets[lo:hi]
+        remaining = np.broadcast_to(
+            weights, (hi - lo, k)
+        ).copy()
+        scratch = np.empty((hi - lo, k), dtype=np.float64)
+        for d in range(int(sizes_l.max())):
+            # Compact to the rows still drawing, so finished rows do
+            # not keep paying the per-round matrix work (their picks
+            # are already written; dropping them cannot change any
+            # remaining row's draws).
+            keep = sizes_l > d
+            if not keep.all():
+                seeds_l = seeds_l[keep]
+                sizes_l = sizes_l[keep]
+                starts_l = starts_l[keep]
+                remaining = remaining[keep]
+            rows = seeds_l.size
+            if rows == 0:
+                break
+            cdf = scratch[:rows]
+            with np.errstate(over="ignore"):
+                bits = mix64(
+                    seeds_l + np.uint64(d + 1) * GOLDEN_GAMMA
+                )
+            u = (bits >> np.uint64(11)).astype(np.float64)
+            u *= _DOUBLE_NORM
+            # total via sum(), not cumsum[-1]: numpy's pairwise sum is
+            # what the legacy choice() normalised by, and the two can
+            # differ in the last ulp.
+            totals = remaining.sum(axis=1)
+            np.cumsum(remaining, axis=1, out=cdf)
+            cdf /= totals[:, None]
+            picked = (cdf <= u[:, None]).sum(axis=1)
+            np.minimum(picked, k - 1, out=picked)
+            codes[starts_l + d] = picked
+            remaining[np.arange(rows), picked] = 0.0
+    return codes, offsets
+
+
+def _es_picks(seeds, sizes, weights):
+    """Efraimidis–Spirakis keys: one flat pass, top-``size`` per row.
+
+    Instance ``i`` draws ``k`` uniforms (``uniform(seed_i, j)`` for
+    value ``j``) and keeps the ``size_i`` values with the largest
+    ``u ** (1 / w)`` keys — weighted sampling without replacement in a
+    single vectorised pass.
+    """
+    n = seeds.size
+    k = weights.size
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    codes = np.empty(int(offsets[-1]), dtype=np.int64)
+    if n == 0 or codes.size == 0:
+        return codes, offsets
+    position = np.arange(k, dtype=np.uint64)
+    inv_w = 1.0 / weights
+    chunk = max(1, _SCRATCH_FLOATS // max(k, 1))
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        seeds_c = seeds[lo:hi, None]
+        with np.errstate(over="ignore"):
+            bits = mix64(
+                seeds_c + (position[None, :] + np.uint64(1)) * GOLDEN_GAMMA
+            )
+        u = (bits >> np.uint64(11)).astype(np.float64)
+        u *= _DOUBLE_NORM
+        keys = u ** inv_w[None, :]
+        # Top-size_i per row: argpartition narrows to the chunk-wide
+        # top-smax candidates (its prefix is NOT ordered), then a
+        # small argsort over just those columns ranks them so a row's
+        # first size_i entries are exactly its size_i largest keys.
+        smax = int(np.max(sizes[lo:hi]))
+        candidates = np.argpartition(-keys, smax - 1, axis=1)[:, :smax]
+        ranked = np.argsort(
+            -np.take_along_axis(keys, candidates, axis=1), axis=1
+        )
+        top = np.take_along_axis(candidates, ranked, axis=1)
+        for row in range(hi - lo):
+            size = int(sizes[lo + row])
+            start = int(offsets[lo + row])
+            codes[start:start + size] = top[row, :size]
+    return codes, offsets
 
 
 class MultiValueGenerator(PropertyGenerator):
@@ -33,6 +168,10 @@ class MultiValueGenerator(PropertyGenerator):
         set size bounds (uniform between them; default 1..3).
     exponent:
         Zipf popularity exponent over ``values`` (default 1.0).
+    method:
+        ``"exact"`` (default) replays the legacy sequential draws
+        bit-for-bit; ``"es"`` uses Efraimidis–Spirakis keys — same
+        distribution, different draw consumption (see module docs).
 
     Values within one instance are distinct; the output dtype is
     object (each cell a tuple, sorted by universe rank for
@@ -40,9 +179,10 @@ class MultiValueGenerator(PropertyGenerator):
     """
 
     name = "multi_value"
+    supports_out = True
 
     def parameter_names(self):
-        return {"values", "min_size", "max_size", "exponent"}
+        return {"values", "min_size", "max_size", "exponent", "method"}
 
     def _validate_params(self):
         values = self._params.get("values")
@@ -57,33 +197,52 @@ class MultiValueGenerator(PropertyGenerator):
         exponent = self._params.get("exponent", 1.0)
         if exponent < 0:
             raise ValueError("exponent must be nonnegative")
+        method = self._params.get("method", "exact")
+        if method not in ("exact", "es"):
+            raise ValueError("method must be 'exact' or 'es'")
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def _weights(self):
+        values = self._params["values"]
+        exponent = float(self._params.get("exponent", 1.0))
+        universe = len(values)
+        ranks = np.arange(1, universe + 1, dtype=np.float64)
+        return ranks ** (-exponent) if exponent > 0 \
+            else np.ones(universe)
+
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         values = self._params.get("values")
         if values is None:
             raise ValueError("MultiValueGenerator needs 'values'")
         lo = int(self._params.get("min_size", 1))
         hi = int(self._params.get("max_size", 3))
-        exponent = float(self._params.get("exponent", 1.0))
-        universe = len(values)
-        ranks = np.arange(1, universe + 1, dtype=np.float64)
-        weights = ranks ** (-exponent) if exponent > 0 \
-            else np.ones(universe)
+        weights = self._weights()
 
         ids = np.asarray(ids, dtype=np.int64)
         sizes = stream.substream("size").randint(ids, lo, hi + 1)
         pick_stream = stream.substream("picks")
-        out = np.empty(ids.size, dtype=object)
-        for i, instance in enumerate(ids):
-            per_instance = pick_stream.indexed_substream(int(instance))
-            chosen = []
-            remaining = weights.copy()
-            for draw in range(int(sizes[i])):
-                code = int(
-                    per_instance.choice(np.int64(draw), remaining)
+        out = self._out_buffer(ids.size, out)
+        if ids.size == 0:
+            return out
+        seeds = pick_stream.indexed_substream_seeds(ids)
+        if self._params.get("method", "exact") == "es":
+            codes, offsets = _es_picks(seeds, sizes, weights)
+        else:
+            from ._ckernel import load_property_ckernel
+
+            kernel = load_property_ckernel()
+            if kernel is not None:
+                codes, offsets = kernel.multivalue_picks(
+                    seeds, sizes, weights
                 )
-                chosen.append(code)
-                remaining[code] = 0.0
-            chosen.sort()
-            out[i] = tuple(values[c] for c in chosen)
+            else:
+                codes, offsets = _exact_picks_numpy(
+                    seeds, sizes, weights
+                )
+        values = list(values)
+        flat = codes.tolist()
+        bounds = offsets.tolist()
+        out[:] = [
+            tuple(values[c] for c in sorted(flat[a:b]))
+            for a, b in zip(bounds, bounds[1:])
+        ]
         return out

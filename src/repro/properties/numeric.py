@@ -1,4 +1,10 @@
-"""Numeric property generators."""
+"""Numeric property generators.
+
+Already vectorised pre-rewrite; the batched pass adds the
+allocation-free contract (``supports_out`` buffers, in-place ufuncs on
+the draw arrays) and caches the Zipf cdf across shard calls instead of
+rebuilding it per ``run_many``.
+"""
 
 from __future__ import annotations
 
@@ -19,6 +25,7 @@ class UniformIntGenerator(PropertyGenerator):
     """Uniform integers in ``[low, high)``."""
 
     name = "uniform_int"
+    supports_out = True
 
     def parameter_names(self):
         return {"low", "high"}
@@ -29,12 +36,18 @@ class UniformIntGenerator(PropertyGenerator):
         if high is not None and high <= low:
             raise ValueError("need low < high")
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         high = self._params.get("high")
         if high is None:
             raise ValueError("UniformIntGenerator needs 'high'")
         low = int(self._params.get("low", 0))
-        return stream.randint(np.asarray(ids, dtype=np.int64), low, int(high))
+        values = stream.randint(
+            np.asarray(ids, dtype=np.int64), low, int(high)
+        )
+        if out is None:
+            return values
+        out[:] = values
+        return out
 
     def output_dtype(self):
         return np.dtype(np.int64)
@@ -44,6 +57,7 @@ class UniformFloatGenerator(PropertyGenerator):
     """Uniform floats in ``[low, high)``."""
 
     name = "uniform_float"
+    supports_out = True
 
     def parameter_names(self):
         return {"low", "high"}
@@ -54,11 +68,17 @@ class UniformFloatGenerator(PropertyGenerator):
         if high <= low:
             raise ValueError("need low < high")
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         low = float(self._params.get("low", 0.0))
         high = float(self._params.get("high", 1.0))
         u = stream.uniform(np.asarray(ids, dtype=np.int64))
-        return low + u * (high - low)
+        # low + u * span, in place on the freshly drawn array.
+        np.multiply(u, high - low, out=u)
+        np.add(u, low, out=u)
+        if out is None:
+            return u
+        out[:] = u
+        return out
 
     def output_dtype(self):
         return np.dtype(np.float64)
@@ -68,6 +88,7 @@ class NormalGenerator(PropertyGenerator):
     """Gaussian values, optionally clipped."""
 
     name = "normal"
+    supports_out = True
 
     def parameter_names(self):
         return {"mean", "std", "clip_low", "clip_high"}
@@ -77,7 +98,7 @@ class NormalGenerator(PropertyGenerator):
         if std <= 0:
             raise ValueError("std must be positive")
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         values = stream.normal(
             np.asarray(ids, dtype=np.int64),
             float(self._params.get("mean", 0.0)),
@@ -86,12 +107,16 @@ class NormalGenerator(PropertyGenerator):
         lo = self._params.get("clip_low")
         hi = self._params.get("clip_high")
         if lo is not None or hi is not None:
-            values = np.clip(
+            np.clip(
                 values,
                 -np.inf if lo is None else lo,
                 np.inf if hi is None else hi,
+                out=values,
             )
-        return values
+        if out is None:
+            return values
+        out[:] = values
+        return out
 
     def output_dtype(self):
         return np.dtype(np.float64)
@@ -101,6 +126,7 @@ class ZipfIntGenerator(PropertyGenerator):
     """Zipf-distributed ranks ``1..k`` (heavy-tailed counts)."""
 
     name = "zipf_int"
+    supports_out = True
 
     def parameter_names(self):
         return {"exponent", "k"}
@@ -112,20 +138,32 @@ class ZipfIntGenerator(PropertyGenerator):
         k = self._params.get("k")
         if k is not None and k < 1:
             raise ValueError("k must be >= 1")
+        self._cache = None
 
-    def run_many(self, ids, stream, *dependency_arrays):
-        k = self._params.get("k")
-        if k is None:
-            raise ValueError("ZipfIntGenerator needs 'k'")
+    def _cdf(self):
+        k = int(self._params["k"])
         exponent = float(self._params.get("exponent", 1.0))
-        ranks = np.arange(1, int(k) + 1, dtype=np.float64)
+        cache = getattr(self, "_cache", None)
+        if cache is not None and cache[0] == (k, exponent):
+            return cache[1]
+        ranks = np.arange(1, k + 1, dtype=np.float64)
         weights = ranks ** (-exponent)
         cdf = np.cumsum(weights / weights.sum())
+        self._cache = ((k, exponent), cdf)
+        return cdf
+
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
+        if self._params.get("k") is None:
+            raise ValueError("ZipfIntGenerator needs 'k'")
         codes = np.searchsorted(
-            cdf, stream.uniform(np.asarray(ids, dtype=np.int64)),
+            self._cdf(),
+            stream.uniform(np.asarray(ids, dtype=np.int64)),
             side="right",
         )
-        return (codes + 1).astype(np.int64)
+        if out is None:
+            return (codes + 1).astype(np.int64)
+        np.add(codes, 1, out=out)
+        return out
 
     def output_dtype(self):
         return np.dtype(np.int64)
@@ -138,14 +176,20 @@ class SequenceGenerator(PropertyGenerator):
     """
 
     name = "sequence"
+    supports_out = True
 
     def parameter_names(self):
         return {"start", "step"}
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         start = int(self._params.get("start", 0))
         step = int(self._params.get("step", 1))
-        return start + step * np.asarray(ids, dtype=np.int64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if out is None:
+            return start + step * ids
+        np.multiply(ids, step, out=out)
+        np.add(out, start, out=out)
+        return out
 
     def output_dtype(self):
         return np.dtype(np.int64)

@@ -1,4 +1,19 @@
-"""Text synthesis generators (message bodies, labels)."""
+"""Text synthesis generators (message bodies, labels).
+
+:class:`TextGenerator` is the heaviest builtin PG — a sentence per
+instance means a *ragged* number of draws per id.  The legacy
+implementation (frozen in :mod:`repro.properties.legacy`) built one
+``indexed_substream`` object and ran one ``searchsorted`` per
+instance; the batched pipeline here computes every substream seed,
+every word draw and every vocabulary code in a handful of vectorised
+passes (:meth:`~repro.prng.RandomStream.uniform_ragged`), then
+assembles sentences with one flat codes→words fancy-index and C-level
+``join`` over list slices — the same map/join strategy
+:mod:`repro.io.chunks` measured fastest for string assembly.  With a
+system C compiler the draw+search inner loop additionally runs
+compiled (:mod:`repro.properties._ckernel`), falling back to numpy
+silently.
+"""
 
 from __future__ import annotations
 
@@ -23,6 +38,7 @@ class TextGenerator(PropertyGenerator):
     """
 
     name = "text"
+    supports_out = True
 
     def parameter_names(self):
         return {"vocabulary", "min_words", "max_words", "zipf_exponent"}
@@ -35,35 +51,75 @@ class TextGenerator(PropertyGenerator):
         hi = self._params.get("max_words", 12)
         if lo < 1 or hi < lo:
             raise ValueError("need 1 <= min_words <= max_words")
+        self._cache = None
 
-    def run_many(self, ids, stream, *dependency_arrays):
-        vocab = self._params.get("vocabulary")
-        if vocab is None:
-            raise ValueError("TextGenerator needs 'vocabulary'")
-        lo = int(self._params.get("min_words", 3))
-        hi = int(self._params.get("max_words", 12))
+    def _tables(self):
+        """Cached ``(cdf, word_array)`` for the current parameters."""
+        vocab = self._params["vocabulary"]
         exponent = float(self._params.get("zipf_exponent", 1.0))
+        key = (id(vocab), len(vocab), exponent)
+        cache = getattr(self, "_cache", None)
+        if cache is not None and cache[0] == key:
+            return cache[1], cache[2]
         if exponent > 0:
             ranks = np.arange(1, len(vocab) + 1, dtype=np.float64)
             weights = ranks ** (-exponent)
             cdf = np.cumsum(weights / weights.sum())
         else:
-            cdf = np.linspace(
-                1.0 / len(vocab), 1.0, len(vocab)
-            )
+            cdf = np.linspace(1.0 / len(vocab), 1.0, len(vocab))
+        # The cumulative sum can land one ulp *below* 1.0, in which
+        # case a uniform drawn in that final gap makes searchsorted
+        # return len(vocab).  The legacy loop papered over it with a
+        # min(code, len - 1) clamp, which silently biases the gap mass
+        # onto the last (rarest) word; pinning the final step to 1.0
+        # removes the gap itself, so every u in [0, 1) maps in range
+        # and no clamp is needed.
+        cdf[-1] = 1.0
+        words = np.empty(len(vocab), dtype=object)
+        words[:] = list(vocab)
+        self._cache = (key, cdf, words)
+        return cdf, words
+
+    def _word_codes(self, flat_u, cdf):
+        """Vocabulary codes for flat uniform draws (regression surface).
+
+        With ``cdf[-1]`` pinned to 1.0 exactly, every ``u < 1.0`` —
+        including the largest representable uniform output,
+        ``(2**53 - 1) / 2**53`` — satisfies ``u < cdf[-1]``, so
+        ``searchsorted(..., side="right")`` is always ``< len(vocab)``
+        and the result needs no clamping.
+        """
+        return np.searchsorted(cdf, flat_u, side="right")
+
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
+        vocab = self._params.get("vocabulary")
+        if vocab is None:
+            raise ValueError("TextGenerator needs 'vocabulary'")
+        lo = int(self._params.get("min_words", 3))
+        hi = int(self._params.get("max_words", 12))
+        cdf, words = self._tables()
         ids = np.asarray(ids, dtype=np.int64)
         lengths = stream.substream("len").randint(ids, lo, hi + 1)
-        out = np.empty(ids.size, dtype=object)
         word_stream = stream.substream("words")
-        for i, instance in enumerate(ids):
-            per_instance = word_stream.indexed_substream(int(instance))
-            draws = per_instance.uniform(
-                np.arange(int(lengths[i]), dtype=np.int64)
+        from ._ckernel import load_property_ckernel
+
+        kernel = load_property_ckernel()
+        if kernel is not None:
+            seeds = word_stream.indexed_substream_seeds(ids)
+            codes, offsets = kernel.ragged_cdf_codes(
+                seeds, lengths, cdf
             )
-            codes = np.searchsorted(cdf, draws, side="right")
-            out[i] = " ".join(
-                vocab[min(int(c), len(vocab) - 1)] for c in codes
-            )
+        else:
+            draws, offsets = word_stream.uniform_ragged(ids, lengths)
+            codes = self._word_codes(draws, cdf)
+        flat_words = words[codes].tolist()
+        out = self._out_buffer(ids.size, out)
+        bounds = offsets.tolist()
+        join = " ".join
+        out[:] = [
+            join(flat_words[a:b])
+            for a, b in zip(bounds, bounds[1:])
+        ]
         return out
 
 
@@ -81,6 +137,7 @@ class TemplateGenerator(PropertyGenerator):
     """
 
     name = "template"
+    supports_out = True
 
     def parameter_names(self):
         return {"template"}
@@ -94,14 +151,23 @@ class TemplateGenerator(PropertyGenerator):
     def num_dependencies(self):
         return None
 
-    def run_many(self, ids, stream, *dependency_arrays):
+    def run_many(self, ids, stream, *dependency_arrays, out=None):
         template = self._params.get("template")
         if template is None:
             raise ValueError("TemplateGenerator needs 'template'")
         ids = np.asarray(ids, dtype=np.int64)
         columns = [np.asarray(dep) for dep in dependency_arrays]
-        out = np.empty(ids.size, dtype=object)
-        for i in range(ids.size):
-            args = [col[i] for col in columns]
-            out[i] = template.format(*args, id=int(ids[i]))
+        out = self._out_buffer(ids.size, out)
+        fmt = template.format
+        ids_list = ids.tolist()
+        # zip over the arrays (not .tolist()) keeps the numpy scalars
+        # the legacy loop formatted, so float/str rendering is
+        # unchanged.
+        if columns:
+            out[:] = [
+                fmt(*args, id=i)
+                for args, i in zip(zip(*columns), ids_list)
+            ]
+        else:
+            out[:] = [fmt(id=i) for i in ids_list]
         return out

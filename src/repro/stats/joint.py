@@ -116,19 +116,21 @@ class JointDistribution:
                 f"group_sizes must have shape ({self.k},), got {q.shape}"
             )
         m = float(num_edges)
-        k = self.k
-        delta = np.zeros((k, k))
-        for i in range(k):
-            for j in range(k):
-                if i == j:
-                    pairs = q[i] * (q[i] - 1.0) / 2.0
-                    mass = m * self.matrix[i, i]
-                else:
-                    # Unordered pair mass: P(i,j) + P(j,i) = 2 P(i,j),
-                    # matching the paper's delta_ij = 2mP(i,j)/(qi qj).
-                    pairs = q[i] * q[j]
-                    mass = m * 2.0 * self.matrix[i, j]
-                delta[i, j] = 0.0 if pairs <= 0 else mass / pairs
+        # Unordered pair mass: P(i,j) + P(j,i) = 2 P(i,j), matching
+        # the paper's delta_ij = 2mP(i,j)/(qi qj); the diagonal holds
+        # intra-group pairs q_i (q_i - 1) / 2 with mass m P(i,i).
+        # Same elementwise float64 operations as the former k x k
+        # Python loop, computed as whole matrices.
+        pairs = np.outer(q, q)
+        np.fill_diagonal(pairs, q * (q - 1.0) / 2.0)
+        mass = m * 2.0 * self.matrix
+        np.fill_diagonal(mass, m * np.diagonal(self.matrix))
+        delta = np.divide(
+            mass,
+            pairs,
+            out=np.zeros_like(mass),
+            where=pairs > 0,
+        )
         return np.clip(delta, 0.0, 1.0)
 
     def condition_on(self, i):

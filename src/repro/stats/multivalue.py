@@ -64,23 +64,52 @@ def empirical_multivalue_joint(tails, heads, value_sets, k=None):
     heads = np.asarray(heads, dtype=np.int64)
     if tails.shape != heads.shape:
         raise ValueError("tails and heads must have the same shape")
+    # Flatten the per-node sets once: codes + offsets (the ragged
+    # layout the generators produce), sizes per node.
+    sizes = np.fromiter(
+        map(len, value_sets), dtype=np.int64, count=len(value_sets)
+    )
+    offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    flat = np.fromiter(
+        (code for value_set in value_sets for code in value_set),
+        dtype=np.int64,
+        count=int(offsets[-1]),
+    )
     if k is None:
-        k = 0
-        for value_set in value_sets:
-            if value_set:
-                k = max(k, max(value_set) + 1)
-        k = max(k, 1)
-    counts = np.zeros((k, k), dtype=np.float64)
-    for tail, head in zip(tails, heads):
-        tail_set = value_sets[tail]
-        head_set = value_sets[head]
-        if not tail_set or not head_set:
-            continue
-        mass = 1.0 / (len(tail_set) * len(head_set))
-        for x in tail_set:
-            for y in head_set:
-                counts[x, y] += mass
-                counts[y, x] += mass
-    if counts.sum() <= 0:
+        k = max(int(flat.max()) + 1 if flat.size else 1, 1)
+    # Every edge contributes its |S_tail| x |S_head| cross pairs; the
+    # pair lattice is enumerated with repeat/arange arithmetic instead
+    # of nested Python loops — edge-major, tail value then head value,
+    # the same order the loops walked.
+    tail_sizes = sizes[tails]
+    head_sizes = sizes[heads]
+    active = (tail_sizes > 0) & (head_sizes > 0)
+    tails, heads = tails[active], heads[active]
+    tail_sizes, head_sizes = tail_sizes[active], head_sizes[active]
+    pair_counts = tail_sizes * head_sizes
+    total_pairs = int(pair_counts.sum())
+    if total_pairs == 0:
         raise ValueError("no labelled edges to measure")
+    pair_starts = np.zeros(pair_counts.size, dtype=np.int64)
+    np.cumsum(pair_counts[:-1], out=pair_starts[1:])
+    within = np.arange(total_pairs, dtype=np.int64)
+    within -= np.repeat(pair_starts, pair_counts)
+    head_rep = np.repeat(head_sizes, pair_counts)
+    x = flat[
+        np.repeat(offsets[tails], pair_counts) + within // head_rep
+    ]
+    y = flat[
+        np.repeat(offsets[heads], pair_counts) + within % head_rep
+    ]
+    mass = np.repeat(1.0 / pair_counts, pair_counts)
+    # One interleaved scatter-add — (x, y) then (y, x) per pair, the
+    # exact accumulation order of the former nested loops, so the
+    # counts matrix is bitwise unchanged.
+    rows = np.empty(2 * total_pairs, dtype=np.int64)
+    cols = np.empty(2 * total_pairs, dtype=np.int64)
+    rows[0::2], rows[1::2] = x, y
+    cols[0::2], cols[1::2] = y, x
+    counts = np.zeros((k, k), dtype=np.float64)
+    np.add.at(counts, (rows, cols), np.repeat(mass, 2))
     return JointDistribution(counts)

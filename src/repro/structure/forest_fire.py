@@ -16,6 +16,15 @@ from .base import StructureGenerator, edge_table_from_pairs
 
 __all__ = ["ForestFire"]
 
+#: Uniforms pre-drawn per arrival in the batched ragged pass; covers
+#: the typical burn (ambassador + a few geometric draws and picks) so
+#: lazy per-node extension stays rare.
+_PREDRAW = 8
+
+#: Arrivals per pre-draw block, bounding the flat uniform buffer to
+#: ~_PREDRAW_BLOCK * _PREDRAW floats regardless of n.
+_PREDRAW_BLOCK = 65_536
+
 
 class ForestFire(StructureGenerator):
     """SG implementing the (undirected) Forest Fire model.
@@ -62,76 +71,97 @@ class ForestFire(StructureGenerator):
 
         # Burn bookkeeping: a per-node stamp array replaces the
         # per-arrival ``burned`` set (membership test becomes a list
-        # read), and the per-draw scalar PRNG calls — formerly the
-        # dominant cost — are pre-drawn in vectorised chunks
-        # (``randint(i, 0, span)`` is ``int(uniform(i) * span)``).
-        # ``np.log(p)`` is loop-invariant per arrival and hoisted; the
-        # numerator stays ``np.log`` so the geometric counts keep the
-        # exact bits of the original (pinned by
-        # ``tests/golden/matching/structures.npz``).
+        # read).  The per-arrival PRNG work — formerly one substream
+        # object plus a 2*max_burn-wide uniform batch per node, the
+        # dominant cost — is batched across arrivals: one ragged
+        # pre-draw supplies the first ``_PREDRAW`` uniforms of *every*
+        # arrival's substream per block, and the rare burn that needs
+        # more extends lazily from its own substream.  Draws are
+        # random-access (``uniform(j)`` depends only on ``j``), so how
+        # many are materialised ahead of time cannot change any value;
+        # edges stay bit-identical (pinned by
+        # ``tests/golden/matching/structures.npz``).  ``np.log(p)`` is
+        # loop-invariant and hoisted; the numerator stays ``np.log``
+        # so the geometric counts keep the exact bits of the original.
         burn_stamp = [-1] * n
         log_p = float(np.log(p)) if p > 0.0 else 0.0
         chunk = 2 * max_burn + 2
-        arange_cache = np.arange(chunk, dtype=np.int64)
+        predraw = _PREDRAW
+        block = _PREDRAW_BLOCK
         np_log = np.log
 
         link(0, 1)
-        for new in range(2, n):
-            node_stream = stream.indexed_substream(new)
-            uvals = node_stream.uniform(arange_cache).tolist()
-            ambassador = int(uvals[0] * new)
-            burn_stamp[new] = new
-            burn_stamp[ambassador] = new
-            frontier = [ambassador]
-            cursor = 0
-            link(new, ambassador)
-            budget = max_burn - 1
-            draw = 1
-            while cursor < len(frontier) and budget > 0:
-                current = frontier[cursor]
-                cursor += 1
-                neighbors = [
-                    v for v in adjacency[current]
-                    if burn_stamp[v] != new
-                ]
-                if not neighbors:
-                    continue
-                # Geometric(1 - p) number of neighbours to burn.
-                if draw >= len(uvals):
-                    base = len(uvals)
-                    uvals.extend(
-                        node_stream.uniform(
-                            np.arange(
-                                base, base + chunk, dtype=np.int64
-                            )
-                        ).tolist()
-                    )
-                u = uvals[draw]
-                draw += 1
-                if p <= 0.0:
-                    count = 0
-                else:
-                    count = int(np_log(max(1.0 - u, 1e-12)) / log_p)
-                    # log_{p}(1-u): geometric tail with success 1-p.
-                count = min(count, len(neighbors), budget)
-                if draw + count > len(uvals):
-                    base = len(uvals)
-                    uvals.extend(
-                        node_stream.uniform(
-                            np.arange(
-                                base, base + chunk + count,
-                                dtype=np.int64,
-                            )
-                        ).tolist()
-                    )
-                for pick in range(count):
-                    idx = int(uvals[draw] * len(neighbors))
+        for block_start in range(2, n, block):
+            block_stop = min(block_start + block, n)
+            arrivals = np.arange(
+                block_start, block_stop, dtype=np.int64
+            )
+            flat, _ = stream.uniform_ragged(
+                arrivals,
+                np.full(arrivals.size, predraw, dtype=np.int64),
+            )
+            flat = flat.tolist()
+            for new in range(block_start, block_stop):
+                base = (new - block_start) * predraw
+                uvals = flat[base:base + predraw]
+                node_stream = None
+                ambassador = int(uvals[0] * new)
+                burn_stamp[new] = new
+                burn_stamp[ambassador] = new
+                frontier = [ambassador]
+                cursor = 0
+                link(new, ambassador)
+                budget = max_burn - 1
+                draw = 1
+                while cursor < len(frontier) and budget > 0:
+                    current = frontier[cursor]
+                    cursor += 1
+                    neighbors = [
+                        v for v in adjacency[current]
+                        if burn_stamp[v] != new
+                    ]
+                    if not neighbors:
+                        continue
+                    # Geometric(1 - p) number of neighbours to burn.
+                    if draw >= len(uvals):
+                        if node_stream is None:
+                            node_stream = stream.indexed_substream(new)
+                        lo = len(uvals)
+                        uvals.extend(
+                            node_stream.uniform(
+                                np.arange(
+                                    lo, lo + chunk, dtype=np.int64
+                                )
+                            ).tolist()
+                        )
+                    u = uvals[draw]
                     draw += 1
-                    target = neighbors.pop(idx)
-                    burn_stamp[target] = new
-                    frontier.append(target)
-                    link(new, target)
-                    budget -= 1
+                    if p <= 0.0:
+                        count = 0
+                    else:
+                        count = int(np_log(max(1.0 - u, 1e-12)) / log_p)
+                        # log_{p}(1-u): geometric tail, success 1-p.
+                    count = min(count, len(neighbors), budget)
+                    if draw + count > len(uvals):
+                        if node_stream is None:
+                            node_stream = stream.indexed_substream(new)
+                        lo = len(uvals)
+                        uvals.extend(
+                            node_stream.uniform(
+                                np.arange(
+                                    lo, lo + chunk + count,
+                                    dtype=np.int64,
+                                )
+                            ).tolist()
+                        )
+                    for pick in range(count):
+                        idx = int(uvals[draw] * len(neighbors))
+                        draw += 1
+                        target = neighbors.pop(idx)
+                        burn_stamp[target] = new
+                        frontier.append(target)
+                        link(new, target)
+                        budget -= 1
         pairs = np.stack(
             [np.asarray(tails, dtype=np.int64),
              np.asarray(heads, dtype=np.int64)],
