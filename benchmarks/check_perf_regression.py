@@ -5,12 +5,23 @@ Usage::
     python benchmarks/check_perf_regression.py FRESH.json BASELINE.json
 
 Exits non-zero when any row present in both files regressed by more
-than the allowed factor (default 2x).  The primary gate is
+than the allowed factor (default 2x).  The default gate is
 ``speedup_vs_legacy``: both the kernel and the frozen legacy loop run
 on the same machine in the same process, so their ratio is
 machine-neutral — CI runners of very different speeds still produce
 comparable numbers.  Raw ``rows_per_sec`` is reported for context but
 only warns, since absolute throughput varies with the runner.
+
+The scale-smoke job instead gates on peak traced allocation, where
+*smaller* is better::
+
+    python benchmarks/check_perf_regression.py \
+        fresh.json BENCH_scale.json \
+        --gate-field tracemalloc_peak_mb \
+        --gate-direction lower-is-better
+
+tracemalloc peaks are allocation counts, not wall-clock, so they are
+runner-neutral too.
 """
 
 from __future__ import annotations
@@ -38,6 +49,18 @@ def main(argv=None):
         help="fail when baseline/fresh exceeds this factor "
         "(default: 2.0)",
     )
+    parser.add_argument(
+        "--gate-field", default=GATE_FIELD,
+        help=f"row field the fatal gate compares "
+        f"(default: {GATE_FIELD})",
+    )
+    parser.add_argument(
+        "--gate-direction",
+        choices=["higher-is-better", "lower-is-better"],
+        default="higher-is-better",
+        help="whether a larger gate-field value is an improvement "
+        "(default: higher-is-better)",
+    )
     args = parser.parse_args(argv)
 
     fresh = load_rows(args.fresh)
@@ -47,15 +70,22 @@ def main(argv=None):
         print("error: no shared benchmark rows between the two files")
         return 2
 
+    lower_is_better = args.gate_direction == "lower-is-better"
+    fields = [(args.gate_field, True)]
+    if WARN_FIELD != args.gate_field:
+        fields.append((WARN_FIELD, False))
     failures = []
     for name in shared:
         fresh_row, base_row = fresh[name], baseline[name]
-        for field, fatal in ((GATE_FIELD, True), (WARN_FIELD, False)):
+        for field, fatal in fields:
             if field not in fresh_row or field not in base_row:
                 continue
             new = float(fresh_row[field])
             old = float(base_row[field])
-            if new <= 0:
+            # ratio > 1 always means "fresh is worse".
+            if fatal and lower_is_better:
+                ratio = new / old if old > 0 else float("inf")
+            elif new <= 0:
                 ratio = float("inf")
             else:
                 ratio = old / new
@@ -67,11 +97,11 @@ def main(argv=None):
             print(
                 f"{status:4s} {name:32s} {field}: "
                 f"baseline={old:.2f} fresh={new:.2f} "
-                f"(x{ratio:.2f} slower)"
+                f"(x{ratio:.2f} worse)"
                 if ratio > 1
                 else f"{status:4s} {name:32s} {field}: "
                 f"baseline={old:.2f} fresh={new:.2f} "
-                f"(x{1 / max(ratio, 1e-9):.2f} faster)"
+                f"(x{1 / max(ratio, 1e-9):.2f} better)"
             )
 
     if failures:

@@ -46,6 +46,41 @@ def _chunk_size(text):
     return value
 
 
+def _shard_rows(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--shard-rows must be >= 1, got {value}"
+        )
+    return value
+
+
+def _memory_budget(text):
+    from .core import parse_memory_budget
+
+    try:
+        parse_memory_budget(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
+def _add_sharding_args(cmd):
+    cmd.add_argument(
+        "--shard-rows", type=_shard_rows, default=None, metavar="N",
+        help="out-of-core mode: run the whole pipeline per N-row "
+             "id-range shard with disk-spooled tables (byte-identical "
+             "output, peak memory bounded by the shard size; see "
+             "docs/scaling.md)",
+    )
+    cmd.add_argument(
+        "--memory-budget", type=_memory_budget, default=None,
+        metavar="SIZE",
+        help="out-of-core mode with the shard size derived from a "
+             "memory budget, e.g. 512MB or 2G",
+    )
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="datasynth",
@@ -90,6 +125,7 @@ def build_parser():
         "--compress", action="store_true",
         help="gzip the exported files (deterministic .gz bytes)",
     )
+    _add_sharding_args(generate)
 
     protocol = sub.add_parser(
         "protocol",
@@ -203,6 +239,7 @@ def build_parser():
             "--report-json", default=None, metavar="PATH",
             help="write the graded report as JSON to PATH",
         )
+        _add_sharding_args(cmd)
         if with_export:
             cmd.add_argument(
                 "--out", default=None,
@@ -265,16 +302,41 @@ def _cmd_generate(args):
         raise SystemExit(
             "no scale given: add a DSL scale block or --scale TYPE=COUNT"
         )
-    sink = make_sink(
-        args.format,
-        args.out,
-        chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE,
-        compress=args.compress,
-    )
-    graph = GraphGenerator(
-        schema, scale, seed=args.seed, workers=args.workers
-    ).generate(sink=sink)
-    print(f"generated graph {graph_name!r}: {graph.summary()}")
+    if args.shard_rows is not None or args.memory_budget is not None:
+        from .core import ShardedExecutor
+
+        executor = ShardedExecutor(
+            schema, scale, seed=args.seed,
+            shard_rows=args.shard_rows,
+            memory_budget=args.memory_budget,
+            workers=args.workers,
+        )
+        # Cap export chunks at the shard size so the sink stays within
+        # the memory budget (bytes are identical for any chunk size).
+        sink = make_sink(
+            args.format,
+            args.out,
+            chunk_size=min(
+                args.chunk_size or DEFAULT_CHUNK_SIZE,
+                executor.shard_rows,
+            ),
+            compress=args.compress,
+        )
+        graph = executor.run(sink=sink)
+        summary = graph.summary()
+        graph.cleanup()
+    else:
+        sink = make_sink(
+            args.format,
+            args.out,
+            chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE,
+            compress=args.compress,
+        )
+        graph = GraphGenerator(
+            schema, scale, seed=args.seed, workers=args.workers
+        ).generate(sink=sink)
+        summary = graph.summary()
+    print(f"generated graph {graph_name!r}: {summary}")
     for path in sink.written:
         print(f"  wrote {path}")
     return 0
@@ -464,8 +526,13 @@ def _cmd_scenario_run(args, export=True):
         chunk_size=getattr(args, "chunk_size", None),
         compress=(getattr(args, "compress", False) or None),
         validate=validate,
+        shard_rows=args.shard_rows,
+        memory_budget=args.memory_budget,
     )
-    print(f"scenario {compiled.name!r}: {graph.summary()}")
+    summary = graph.summary()
+    if hasattr(graph, "cleanup"):
+        graph.cleanup()
+    print(f"scenario {compiled.name!r}: {summary}")
     for path in written:
         print(f"  wrote {path}")
     if report is None:

@@ -15,6 +15,12 @@ from .matching import (
     sbm_part_match,
 )
 from .result import PropertyGraph
+from .sharded import (
+    ShardedExecutor,
+    ShardedResult,
+    execute_sharded,
+    parse_memory_budget,
+)
 from .schema import (
     Cardinality,
     CorrelationSpec,
@@ -41,14 +47,18 @@ __all__ = [
     "SbmPartResult",
     "Schema",
     "SchemaError",
+    "ShardedExecutor",
+    "ShardedResult",
     "Task",
     "TaskGraph",
     "bipartite_sbm_part_match",
     "build_task_graph",
     "edge_count_target",
     "execute_parallel",
+    "execute_sharded",
     "greedy_label_match",
     "ldg_degree_match",
+    "parse_memory_budget",
     "random_match",
     "sbm_part_assign",
     "sbm_part_match",

@@ -1,0 +1,585 @@
+"""Sharded executor: memory-bounded, out-of-core generation.
+
+The serial engine and the :class:`~repro.core.executor.ParallelExecutor`
+both materialise every table in RAM, so graph size is capped by memory
+even though export already streams.  This module runs the *same* task
+DAG with every table spooled to disk in id-range shards
+(:class:`~repro.io.spool.TableSpool`): the full pipeline — structure
+chunk → match → properties → sink — touches at most a few
+``shard_rows``-sized arrays at a time, which is what unlocks
+billion-edge generation on commodity boxes (ROADMAP item 1).
+
+Byte-identity.  Outputs are bit-identical to the in-memory path for
+any shard size and worker count, by construction rather than by luck:
+
+* property kernels are already range-pure (PR 1), so per-shard
+  generation equals slices of single-shot generation;
+* chunkable structure generators (R-MAT raw, ER, SBM, 1→*) emit their
+  ``run()`` output in chunks via the first-class
+  :class:`~repro.structure.base.EdgeChunkStream` protocol;
+* permutation matchings relabel chunk-by-chunk with the exact mappings
+  the serial :func:`~repro.core.tasks.match_edge` derives;
+* genuinely global stages — sequential structure generators,
+  correlated (SBM-Part) matching — materialise transiently, spill
+  their result to the spool and free it;
+* sinks consume the spooled tables through the unchanged
+  ``begin``/``on_table``/``finish`` protocol in serial plan order, so
+  every format (gzip included) produces identical bytes.
+
+Peak traced allocation is bounded by ``C · shard_rows`` plus the
+documented O(nodes) matching-permutation term — pinned by
+``tests/test_sharded_memory.py`` and tracked in ``BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+import re
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from ..io.spool import TableSpool
+from ..prng import RandomStream, derive_seed
+from ..structure.registry import create_generator
+from ..tables import PropertyTable
+from .dependency import DependencyError, build_task_graph
+from .matching import random_match
+from .result import PropertyGraph
+from .schema import Cardinality, SchemaError
+from .tasks import (
+    export_task_output,
+    match_edge,
+    property_shard_values,
+    resolve_count,
+    structure_inputs,
+)
+
+__all__ = [
+    "BYTES_PER_SHARD_ROW",
+    "DEFAULT_SHARD_ROWS",
+    "ShardedExecutor",
+    "ShardedResult",
+    "execute_sharded",
+    "parse_memory_budget",
+    "shard_rows_for_budget",
+]
+
+#: Default id-range shard size (rows) — matches the parallel executor's
+#: property shard size, so the two pipelines chunk work identically.
+DEFAULT_SHARD_ROWS = 65_536
+
+#: Conservative working-set estimate per shard row (bytes), covering a
+#: handful of concurrently-live columns (values + dependency slices +
+#: formatting buffers).  ``--memory-budget`` divides by this to pick
+#: ``shard_rows``; see docs/scaling.md for the derivation.
+BYTES_PER_SHARD_ROW = 512
+
+#: Floor for derived shard sizes — below this, per-shard overhead
+#: dominates and the budget estimate is meaningless anyway.
+MIN_SHARD_ROWS = 1_024
+
+_BUDGET_RE = re.compile(
+    r"^\s*(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>[kmgt]i?b?|b)?\s*$",
+    re.IGNORECASE,
+)
+
+_BUDGET_UNITS = {
+    "b": 1,
+    "k": 1 << 10,
+    "m": 1 << 20,
+    "g": 1 << 30,
+    "t": 1 << 40,
+}
+
+
+def parse_memory_budget(value):
+    """Parse a memory budget into bytes.
+
+    Accepts a plain integer (bytes) or a string with a binary-multiple
+    suffix: ``"512MB"``, ``"1G"``, ``"64KiB"`` — ``KB``/``KiB``/``K``
+    are all ``2**10`` here.
+    """
+    if isinstance(value, (int, np.integer)):
+        budget = int(value)
+    else:
+        match = _BUDGET_RE.match(str(value))
+        if match is None:
+            raise ValueError(
+                f"cannot parse memory budget {value!r}; expected e.g. "
+                "'512MB', '1G' or a byte count"
+            )
+        unit = (match.group("unit") or "b").lower()
+        budget = int(
+            float(match.group("number")) * _BUDGET_UNITS[unit[0]]
+        )
+    if budget <= 0:
+        raise ValueError("memory budget must be positive")
+    return budget
+
+
+def shard_rows_for_budget(budget_bytes):
+    """Shard size (rows) for a byte budget, via the documented
+    :data:`BYTES_PER_SHARD_ROW` working-set estimate."""
+    return max(MIN_SHARD_ROWS, int(budget_bytes) // BYTES_PER_SHARD_ROW)
+
+
+# -- structure handles ---------------------------------------------------------
+
+
+class _StructureHandle:
+    """Metadata + chunk access for a pre-matching structure.
+
+    Quacks like an :class:`~repro.tables.EdgeTable` for the metadata
+    consumers (``resolve_count``, ``random_match``) without holding the
+    edge columns in memory.
+    """
+
+    def __init__(self, name, num_edges, num_tail_nodes, num_head_nodes,
+                 directed):
+        self.name = name
+        self.num_edges = int(num_edges)
+        self.num_tail_nodes = int(num_tail_nodes)
+        self.num_head_nodes = int(num_head_nodes)
+        self.directed = bool(directed)
+
+    def __len__(self):
+        return self.num_edges
+
+    @property
+    def is_bipartite(self):
+        return self.num_tail_nodes != self.num_head_nodes
+
+    @property
+    def num_nodes(self):
+        if self.is_bipartite:
+            raise ValueError(
+                f"structure {self.name!r} is bipartite; use "
+                "num_tail_nodes / num_head_nodes"
+            )
+        return self.num_tail_nodes
+
+    def chunks(self):
+        raise NotImplementedError
+
+    def load(self):
+        raise NotImplementedError
+
+
+class _ChunkedStructure(_StructureHandle):
+    """Chunkable generator: edges re-emitted on demand, never resident."""
+
+    def __init__(self, stream):
+        super().__init__(
+            stream.name, stream.num_edges, stream.num_tail_nodes,
+            stream.num_head_nodes, stream.directed,
+        )
+        self._stream = stream
+
+    def chunks(self):
+        return self._stream.chunks()
+
+    def load(self):
+        return self._stream.to_edge_table()
+
+
+class _SpooledStructure(_StructureHandle):
+    """Sequential generator: edges spilled to scratch, memory-mapped."""
+
+    def __init__(self, spool, prefix, table):
+        super().__init__(
+            table.name, len(table), table.num_tail_nodes,
+            table.num_head_nodes, table.directed,
+        )
+        spill = spool.spiller(prefix)
+        self._tails = spill("tails", table.tails)
+        self._heads = spill("heads", table.heads)
+        self._chunk_edges = spool.shard_rows
+
+    def chunks(self):
+        for lo in range(0, self.num_edges, self._chunk_edges):
+            hi = min(lo + self._chunk_edges, self.num_edges)
+            yield (
+                lo,
+                np.asarray(self._tails[lo:hi]),
+                np.asarray(self._heads[lo:hi]),
+            )
+
+    def load(self):
+        from ..tables import EdgeTable
+
+        return EdgeTable(
+            self.name,
+            np.asarray(self._tails),
+            np.asarray(self._heads),
+            num_tail_nodes=self.num_tail_nodes,
+            num_head_nodes=self.num_head_nodes,
+            directed=self.directed,
+        )
+
+
+# -- result -------------------------------------------------------------------
+
+
+class ShardedResult(PropertyGraph):
+    """A :class:`PropertyGraph` whose tables live in a disk spool.
+
+    Tables are :class:`~repro.io.spool.SpooledPropertyTable` /
+    :class:`~repro.io.spool.SpooledEdgeTable` — same streaming
+    interface, bounded memory.  :meth:`materialize` loads everything
+    into a plain :class:`PropertyGraph` for global consumers
+    (validation, joint diagnostics); :meth:`cleanup` removes the spool
+    directory once the result is no longer needed.
+    """
+
+    def __init__(self, schema, seed, spool):
+        super().__init__(schema, seed)
+        self.spool = spool
+
+    def materialize(self):
+        graph = PropertyGraph(self.schema, self.seed)
+        graph.node_counts.update(self.node_counts)
+        for key, table in self.node_properties.items():
+            graph.node_properties[key] = table.to_property_table()
+        for key, table in self.edge_tables.items():
+            graph.edge_tables[key] = table.to_edge_table()
+        for key, table in self.edge_properties.items():
+            graph.edge_properties[key] = table.to_property_table()
+        graph.match_results.update(self.match_results)
+        return graph
+
+    def cleanup(self):
+        """Delete the spool directory (invalidates the tables)."""
+        self.spool.cleanup()
+
+
+# -- executor ------------------------------------------------------------------
+
+
+class ShardedExecutor:
+    """Run the generation DAG per id-range shard, memory-bounded.
+
+    Parameters
+    ----------
+    schema, scale, seed:
+        as for the serial engine.
+    shard_rows:
+        rows per shard — the pipeline's memory unit.
+    memory_budget:
+        alternative to ``shard_rows``: bytes (int or ``"512MB"``-style
+        string) divided by :data:`BYTES_PER_SHARD_ROW`.
+    workers:
+        property-kernel concurrency per shard wave (thread pool); the
+        in-flight window is ``workers`` shards, so peak memory scales
+        with ``workers × shard_rows``.  Output is identical for any
+        worker count.
+    spool_dir:
+        spool location (a temporary directory by default).
+    """
+
+    def __init__(self, schema, scale, seed=0, shard_rows=None,
+                 memory_budget=None, workers=1, spool_dir=None):
+        self.schema = schema.validate()
+        self.scale = dict(scale)
+        self.seed = int(seed)
+        if shard_rows is None and memory_budget is not None:
+            shard_rows = shard_rows_for_budget(
+                parse_memory_budget(memory_budget)
+            )
+        self.shard_rows = int(shard_rows or DEFAULT_SHARD_ROWS)
+        if self.shard_rows < 1:
+            raise ValueError("shard_rows must be >= 1")
+        self.workers = max(1, int(workers))
+        self.spool_dir = spool_dir
+
+    def run(self, sink=None):
+        """Execute all tasks; returns a :class:`ShardedResult`.
+
+        ``sink`` streams the graph to disk during generation exactly as
+        with the in-memory engines: same serial plan order, same chunk
+        geometry, byte-identical files.
+        """
+        order = build_task_graph(
+            self.schema, self.scale
+        ).topological_order()
+        spool_dir = self.spool_dir
+        if spool_dir is None:
+            spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+        spool = TableSpool(Path(spool_dir), self.shard_rows)
+        result = ShardedResult(self.schema, self.seed, spool)
+        structures = {}
+        if sink is not None:
+            sink.begin(result)
+        for task in order:
+            self._apply(task, result, structures, spool)
+            export_task_output(task, sink)
+        if sink is not None:
+            sink.finish()
+        spool.write_manifests()
+        return result
+
+    # -- task dispatch -----------------------------------------------------
+
+    def _apply(self, task, result, structures, spool):
+        if task.kind == "count":
+            result.node_counts[task.subject] = resolve_count(
+                self.schema, self.scale, task, structures
+            )
+        elif task.kind == "property":
+            self._apply_node_property(task, result, spool)
+        elif task.kind == "structure":
+            self._apply_structure(task, result, structures, spool)
+        elif task.kind == "match_prepare":
+            # The CSR/arrival precomputation is a whole-structure
+            # object; skipping it keeps this path bounded, and
+            # match_edge re-derives the arrival order bit-identically
+            # when prep is None.
+            pass
+        elif task.kind == "match":
+            self._apply_match(task, result, structures, spool)
+        elif task.kind == "edge_property":
+            self._apply_edge_property(task, result, spool)
+        else:  # pragma: no cover - guarded by build_task_graph
+            raise DependencyError(f"unknown task kind {task.kind!r}")
+
+    # -- properties --------------------------------------------------------
+
+    def _run_property_shards(self, task, spec, count, shard_deps, spool,
+                             role):
+        """Generate one property table shard-by-shard into the spool.
+
+        With ``workers > 1`` shards are computed in waves of ``workers``
+        concurrent kernels and written back in shard order — the
+        kernels are pure, so scheduling cannot change the output.
+        """
+        key = task.subject
+        bounds = spool.shard_bounds(count)
+
+        def kernel(bound):
+            start, stop = bound
+            return property_shard_values(
+                spec, task.task_id, self.seed, start, stop,
+                shard_deps(start, stop),
+            )
+
+        if self.workers == 1 or len(bounds) == 1:
+            for index, bound in enumerate(bounds):
+                spool.write_property_shard(
+                    key, index, kernel(bound), role=role
+                )
+            return
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for wave_start in range(0, len(bounds), self.workers):
+                wave = bounds[wave_start:wave_start + self.workers]
+                for offset, values in enumerate(pool.map(kernel, wave)):
+                    spool.write_property_shard(
+                        key, wave_start + offset, values, role=role
+                    )
+
+    def _apply_node_property(self, task, result, spool):
+        type_name, prop_name = task.subject.split(".", 1)
+        prop = self.schema.node_type(type_name).property_named(prop_name)
+        if prop.generator is None:
+            raise SchemaError(
+                f"{task.subject}: no property generator declared"
+            )
+        count = result.node_counts[type_name]
+        dep_tables = [
+            result.node_properties[f"{type_name}.{dep}"]
+            for dep in prop.depends_on
+        ]
+
+        def shard_deps(start, stop):
+            return [t.read_range(start, stop) for t in dep_tables]
+
+        self._run_property_shards(
+            task, prop.generator, count, shard_deps, spool,
+            role="node_property",
+        )
+        result.node_properties[task.subject] = spool.finish_property(
+            task.subject
+        )
+
+    def _apply_edge_property(self, task, result, spool):
+        edge_name, prop_name = task.subject.split(".", 1)
+        edge = self.schema.edge_type(edge_name)
+        prop = edge.property_named(prop_name)
+        if prop.generator is None:
+            raise SchemaError(
+                f"{task.subject}: no property generator declared"
+            )
+        table = result.edge_tables[edge_name]
+
+        def shard_deps(start, stop):
+            deps = []
+            for dep in prop.depends_on:
+                if dep.startswith("tail."):
+                    pt = result.node_properties[
+                        f"{edge.tail_type}.{dep[len('tail.'):]}"
+                    ]
+                    deps.append(
+                        pt.gather(table.tails_range(start, stop))
+                    )
+                elif dep.startswith("head."):
+                    pt = result.node_properties[
+                        f"{edge.head_type}.{dep[len('head.'):]}"
+                    ]
+                    deps.append(
+                        pt.gather(table.heads_range(start, stop))
+                    )
+                else:
+                    deps.append(
+                        result.edge_properties[
+                            f"{edge_name}.{dep}"
+                        ].read_range(start, stop)
+                    )
+            return deps
+
+        self._run_property_shards(
+            task, prop.generator, len(table), shard_deps, spool,
+            role="edge_property",
+        )
+        result.edge_properties[task.subject] = spool.finish_property(
+            task.subject
+        )
+
+    # -- structure and matching --------------------------------------------
+
+    def _apply_structure(self, task, result, structures, spool):
+        spec, sg_seed, n = structure_inputs(
+            self.schema, self.scale, self.seed, task, result.node_counts
+        )
+        generator = create_generator(
+            spec.name, seed=sg_seed, **spec.params
+        )
+        prefix = f"structure.{task.subject}"
+        if generator.chunkable(n):
+            stream = generator.run_chunked(
+                n, spool.shard_rows, spill=spool.spiller(prefix)
+            )
+            structures[task.subject] = _ChunkedStructure(stream)
+        else:
+            # Sequential generators are a documented global stage:
+            # materialise once, spill to scratch, free.
+            table = generator.run(n)
+            structures[task.subject] = _SpooledStructure(
+                spool, prefix, table
+            )
+            del table
+
+    def _apply_match(self, task, result, structures, spool):
+        edge = self.schema.edge_type(task.subject)
+        handle = structures[edge.name]
+        tail_count = result.node_counts[edge.tail_type]
+        head_count = result.node_counts[edge.head_type]
+        corr = edge.correlation
+        strict = edge.cardinality in (
+            Cardinality.ONE_TO_MANY, Cardinality.ONE_TO_ONE
+        )
+        correlated = (
+            corr is not None
+            and not strict
+            and (edge.is_monopartite or corr.head_property is not None)
+        )
+        if correlated:
+            # SBM-Part matching walks the whole structure — the other
+            # documented global stage.  Materialise, match with the
+            # exact serial kernel, spill the final table, free.
+            structure = handle.load()
+            tail_key = f"{edge.tail_type}.{corr.tail_property}"
+            tail_pt = result.node_properties[
+                tail_key
+            ].to_property_table()
+            head_pt = None
+            if corr.head_property is not None:
+                head_pt = result.node_properties[
+                    f"{edge.head_type}.{corr.head_property}"
+                ].to_property_table()
+            table, match = match_edge(
+                edge, self.seed, task.task_id, structure,
+                tail_count, head_count, tail_pt, head_pt, prep=None,
+            )
+            del structure, tail_pt, head_pt
+            for index, (_, tails, heads) in enumerate(
+                table.iter_chunks(spool.shard_rows)
+            ):
+                spool.write_edge_shard(edge.name, index, tails, heads)
+            meta = (
+                table.num_tail_nodes, table.num_head_nodes,
+                table.directed,
+            )
+            table_name = table.name
+            del table
+        else:
+            meta = self._match_streaming(
+                task, edge, handle, tail_count, head_count, spool,
+                strict,
+            )
+            match = None
+            table_name = handle.name
+        spool.drop_scratch(f"structure.{edge.name}")
+        # relabeled() preserves the structure table's name, so the
+        # spooled table carries it too — EdgeTable.__eq__ compares it.
+        result.edge_tables[edge.name] = spool.finish_edge(
+            edge.name, *meta, name=table_name
+        )
+        result.match_results[edge.name] = match
+
+    def _match_streaming(self, task, edge, handle, tail_count,
+                         head_count, spool, strict):
+        """Permutation matchings applied chunk-by-chunk.
+
+        Derives the exact mappings the serial ``match_edge`` builds —
+        same streams, same slices — then relabels each structure chunk
+        as it is re-emitted.  The mappings are the O(nodes) term of the
+        memory bound.
+        """
+        stream = RandomStream(derive_seed(self.seed, task.task_id))
+        if strict:
+            if handle.num_tail_nodes > tail_count:
+                raise SchemaError(
+                    f"edge {edge.name!r}: structure has more tails than "
+                    f"{edge.tail_type!r} instances"
+                )
+            tail_map = stream.substream("tails").permutation(
+                tail_count
+            )[:handle.num_tail_nodes]
+            head_map = None  # identity: heads define the instances
+            n_tail = len(tail_map)
+            n_head = handle.num_head_nodes
+        elif not edge.is_monopartite:
+            tail_map = stream.substream("tails").permutation(
+                tail_count
+            )[:handle.num_tail_nodes]
+            head_map = stream.substream("heads").permutation(
+                head_count
+            )[:handle.num_head_nodes]
+            n_tail, n_head = len(tail_map), len(head_map)
+        else:
+            if handle.num_nodes > tail_count:
+                raise SchemaError(
+                    f"edge {edge.name!r}: structure has "
+                    f"{handle.num_nodes} nodes but {edge.tail_type!r} "
+                    f"has {tail_count} instances"
+                )
+            pt_ids = PropertyTable(
+                edge.name, np.arange(tail_count, dtype=np.int64)
+            )
+            mapping = random_match(
+                pt_ids, handle, seed=derive_seed(self.seed, task.task_id)
+            )
+            tail_map = head_map = mapping
+            n_tail = n_head = len(mapping)
+        for index, (_, tails, heads) in enumerate(handle.chunks()):
+            final_tails = tail_map[tails]
+            final_heads = heads if head_map is None else head_map[heads]
+            spool.write_edge_shard(
+                edge.name, index, final_tails, final_heads
+            )
+        return n_tail, n_head, handle.directed
+
+
+def execute_sharded(schema, scale, seed=0, sink=None, **kwargs):
+    """One-call convenience mirroring ``execute_parallel``."""
+    return ShardedExecutor(schema, scale, seed, **kwargs).run(sink=sink)

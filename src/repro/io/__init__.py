@@ -31,6 +31,12 @@ from .networkx_adapter import (
     property_graph_to_networkx,
     to_networkx,
 )
+from .spool import (
+    LazyColumn,
+    SpooledEdgeTable,
+    SpooledPropertyTable,
+    TableSpool,
+)
 from .streaming import (
     SINK_FORMATS,
     CsvSink,
@@ -45,6 +51,7 @@ from .streaming import (
     export_graph,
     make_sink,
     make_source,
+    merge_shard_manifests,
 )
 
 __all__ = [
@@ -59,12 +66,17 @@ __all__ = [
     "GraphmlSink",
     "JsonlSink",
     "JsonlSource",
+    "LazyColumn",
+    "SpooledEdgeTable",
+    "SpooledPropertyTable",
+    "TableSpool",
     "export_graph",
     "export_graph_csv",
     "export_graph_jsonl",
     "from_networkx",
     "make_sink",
     "make_source",
+    "merge_shard_manifests",
     "open_text",
     "property_graph_to_networkx",
     "read_edge_table",

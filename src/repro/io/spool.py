@@ -1,0 +1,531 @@
+"""Disk spool backing the sharded executor (out-of-core tables).
+
+The sharded executor never holds a whole table in memory: every
+property / edge table lands in a :class:`TableSpool` as per-shard
+``.npy`` part files, one shard directory per id-range
+``[i*shard_rows, (i+1)*shard_rows)``.  :class:`SpooledPropertyTable`
+and :class:`SpooledEdgeTable` then expose the *exact* table interface
+the streaming exporters consume (``iter_chunks`` with global chunk
+starts, ``values`` with a real dtype, ``gather``), loading at most one
+shard plus one chunk at a time — which is how the sharded pipeline
+reuses the in-memory sinks unchanged and inherits their byte-identity
+guarantee.
+
+Each shard directory carries its own ``manifest.json``; the spool's
+root manifest is their
+:func:`~repro.io.streaming.merge_shard_manifests` merge, making the
+spool a self-describing on-disk graph fragment store.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from .streaming import merge_shard_manifests
+
+__all__ = [
+    "LazyColumn",
+    "SpooledEdgeTable",
+    "SpooledPropertyTable",
+    "TableSpool",
+    "SHARD_MANIFEST_NAME",
+]
+
+SHARD_MANIFEST_NAME = "manifest.json"
+
+
+def _dtype_token(dtype):
+    dtype = np.dtype(dtype)
+    return "object" if dtype.kind == "O" else dtype.str
+
+
+def _save(path, array):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.save(path, array, allow_pickle=array.dtype.kind == "O")
+
+
+def _load(path, dtype_kind):
+    return np.load(path, allow_pickle=dtype_kind == "O")
+
+
+class TableSpool:
+    """Per-shard ``.npy`` storage for the sharded executor.
+
+    Parameters
+    ----------
+    directory:
+        spool root; shard ``i`` lives in ``shards/{i:05d}/``.
+    shard_rows:
+        rows per shard — the memory bound of the whole pipeline.
+    """
+
+    def __init__(self, directory, shard_rows):
+        self.directory = Path(directory)
+        self.shard_rows = int(shard_rows)
+        if self.shard_rows < 1:
+            raise ValueError("shard_rows must be >= 1")
+        #: table key -> {"kind", "role", "shards": [per-shard entry]}
+        self._tables = {}
+
+    # -- geometry ----------------------------------------------------------
+
+    def shard_bounds(self, count):
+        """Contiguous ``(lo, hi)`` shard ranges covering ``count`` rows.
+
+        A zero-row table still gets one (empty) shard, so its dtype is
+        recorded on disk — the empty-shard contract.
+        """
+        count = int(count)
+        if count == 0:
+            return [(0, 0)]
+        return [
+            (lo, min(lo + self.shard_rows, count))
+            for lo in range(0, count, self.shard_rows)
+        ]
+
+    def shard_dir(self, index):
+        return self.directory / "shards" / f"{index:05d}"
+
+    def _part_path(self, index, key, column=None):
+        stem = key if column is None else f"{key}.{column}"
+        return self.shard_dir(index) / f"{stem}.npy"
+
+    # -- writes ------------------------------------------------------------
+
+    def _entry_list(self, key, kind, **meta):
+        entry = self._tables.setdefault(
+            key, {"kind": kind, "shards": [], **meta}
+        )
+        if entry["kind"] != kind:
+            raise ValueError(
+                f"table {key!r} already spooled with kind "
+                f"{entry['kind']!r}"
+            )
+        return entry
+
+    def write_property_shard(self, key, index, values, role="property"):
+        """Persist one id-range shard of a property column."""
+        values = np.asarray(values)
+        entry = self._entry_list(key, "property", role=role)
+        if len(entry["shards"]) != index:
+            raise ValueError(
+                f"table {key!r}: shard {index} written out of order "
+                f"(expected {len(entry['shards'])})"
+            )
+        _save(self._part_path(index, key), values)
+        entry["shards"].append(
+            {"rows": int(values.size), "dtype": _dtype_token(values.dtype)}
+        )
+
+    def write_edge_shard(self, key, index, tails, heads):
+        """Persist one id-range shard of an edge table's columns."""
+        tails = np.ascontiguousarray(tails, dtype=np.int64)
+        heads = np.ascontiguousarray(heads, dtype=np.int64)
+        if tails.size != heads.size:
+            raise ValueError(
+                f"table {key!r}: shard {index} tails/heads differ"
+            )
+        entry = self._entry_list(key, "edge")
+        if len(entry["shards"]) != index:
+            raise ValueError(
+                f"table {key!r}: shard {index} written out of order "
+                f"(expected {len(entry['shards'])})"
+            )
+        _save(self._part_path(index, key, "tails"), tails)
+        _save(self._part_path(index, key, "heads"), heads)
+        entry["shards"].append({"rows": int(tails.size)})
+
+    def finish_property(self, key, name=None):
+        """Seal a property table: a :class:`SpooledPropertyTable`."""
+        entry = self._tables[key]
+        shards = entry["shards"]
+        dtype = next(
+            (s["dtype"] for s in shards if s["rows"]), shards[0]["dtype"]
+        )
+        return SpooledPropertyTable(
+            name or key, self, key, shards, np.dtype(
+                object if dtype == "object" else dtype
+            ),
+        )
+
+    def finish_edge(self, key, num_tail_nodes, num_head_nodes, directed,
+                    name=None):
+        """Seal an edge table: a :class:`SpooledEdgeTable`.
+
+        Zero-shard tables get one empty ``int64`` shard so the on-disk
+        dtype matches what chunked structure emission guarantees.
+        """
+        entry = self._tables.setdefault(key, {"kind": "edge", "shards": []})
+        if not entry["shards"]:
+            self.write_edge_shard(
+                key, 0,
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            )
+        entry.update(
+            num_tail_nodes=int(num_tail_nodes),
+            num_head_nodes=int(num_head_nodes),
+            directed=bool(directed),
+        )
+        return SpooledEdgeTable(
+            name or key, self, key, entry["shards"],
+            int(num_tail_nodes), int(num_head_nodes), bool(directed),
+        )
+
+    # -- scratch (transient global state: pre-match structures, codes) ------
+
+    def scratch_path(self, name):
+        return self.directory / "scratch" / f"{name}.npy"
+
+    def spill(self, name, array):
+        """Park a whole-table array on disk; hand back a bounded view.
+
+        Numeric arrays come back memory-mapped (pages load on demand),
+        which is how genuinely-global stages — sampled pair codes,
+        degree offsets — stay out of the RSS budget.
+        """
+        array = np.asarray(array)
+        path = self.scratch_path(name)
+        _save(path, array)
+        if array.dtype.kind == "O":
+            return array  # object arrays cannot be mapped; keep as is
+        return np.load(path, mmap_mode="r")
+
+    def spiller(self, prefix):
+        """A ``spill(name, array)`` callable namespaced by ``prefix``."""
+        return lambda name, array: self.spill(f"{prefix}.{name}", array)
+
+    def drop_scratch(self, prefix):
+        """Delete all scratch files under ``prefix`` (post-match)."""
+        scratch = self.directory / "scratch"
+        if not scratch.exists():
+            return
+        for path in scratch.glob(f"{prefix}.*.npy"):
+            path.unlink()
+        exact = self.scratch_path(prefix)
+        if exact.exists():
+            exact.unlink()
+
+    # -- manifests ---------------------------------------------------------
+
+    def shard_manifest(self, index):
+        """The manifest dict of one shard directory."""
+        tables = {}
+        for key, entry in self._tables.items():
+            shards = entry["shards"]
+            if index >= len(shards):
+                continue
+            shard = shards[index]
+            if entry["kind"] == "property":
+                tables[key] = {
+                    "kind": "property",
+                    "role": entry.get("role", "property"),
+                    "rows": shard["rows"],
+                    "dtype": shard["dtype"],
+                }
+            else:
+                tables[key] = {
+                    "kind": "edge",
+                    "rows": shard["rows"],
+                    "num_tail_nodes": entry["num_tail_nodes"],
+                    "num_head_nodes": entry["num_head_nodes"],
+                    "directed": entry["directed"],
+                }
+        return {"version": 1, "shard": index, "tables": tables}
+
+    def write_manifests(self):
+        """Write per-shard manifests and their merged root manifest."""
+        num_shards = max(
+            (len(e["shards"]) for e in self._tables.values()), default=0
+        )
+        manifests = []
+        for index in range(num_shards):
+            manifest = self.shard_manifest(index)
+            manifests.append(manifest)
+            shard_dir = self.shard_dir(index)
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            with open(
+                shard_dir / SHARD_MANIFEST_NAME, "w", encoding="utf-8"
+            ) as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if not manifests:
+            return None
+        merged = merge_shard_manifests(manifests)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(
+            self.directory / SHARD_MANIFEST_NAME, "w", encoding="utf-8"
+        ) as handle:
+            json.dump(merged, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return merged
+
+    def cleanup(self):
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+class _SpooledBase:
+    """Shared shard-walking machinery (one-shard LRU cache)."""
+
+    def __init__(self, spool, key, shards):
+        self._spool = spool
+        self._key = key
+        self._shards = shards
+        self._rows = sum(s["rows"] for s in shards)
+        # Single-slot cache stored as one tuple so concurrent readers
+        # (worker waves) can never observe a torn index/payload pair.
+        self._cache = None
+
+    def __len__(self):
+        return self._rows
+
+    def _load_shard(self, index):
+        cached = self._cache
+        if cached is not None and cached[0] == index:
+            return cached[1]
+        arrays = self._read_shard(index)
+        self._cache = (index, arrays)
+        return arrays
+
+    def _shard_of(self, row):
+        return int(row) // self._spool.shard_rows
+
+    def _ranges(self, start, stop):
+        """Yield ``(shard_index, local_lo, local_hi)`` covering a range."""
+        rows = self._spool.shard_rows
+        row = start
+        while row < stop:
+            index = row // rows
+            local_lo = row - index * rows
+            local_hi = min(stop - index * rows, rows)
+            yield index, local_lo, local_hi
+            row = index * rows + local_hi
+
+
+class SpooledPropertyTable(_SpooledBase):
+    """Spool-backed twin of :class:`~repro.tables.PropertyTable`.
+
+    Implements the slice of the PT interface the exporters and the
+    executor touch; ``values`` is a :class:`LazyColumn`, never a whole
+    in-memory array.
+    """
+
+    def __init__(self, name, spool, key, shards, dtype):
+        super().__init__(spool, key, shards)
+        self.name = str(name)
+        self.dtype = np.dtype(dtype)
+
+    def __repr__(self):
+        return (
+            f"SpooledPropertyTable(name={self.name!r}, n={len(self)}, "
+            f"dtype={self.dtype}, shards={len(self._shards)})"
+        )
+
+    @property
+    def values(self):
+        return LazyColumn(self)
+
+    def _read_shard(self, index):
+        return _load(
+            self._spool._part_path(index, self._key), self.dtype.kind
+        )
+
+    def read_range(self, start, stop):
+        """Rows ``[start, stop)`` as one array (bounded by the range)."""
+        start, stop = int(start), int(stop)
+        if not 0 <= start <= stop <= len(self):
+            raise IndexError(
+                f"PT {self.name!r}: range [{start}, {stop}) out of "
+                f"bounds [0, {len(self)})"
+            )
+        parts = [
+            self._load_shard(index)[lo:hi]
+            for index, lo, hi in self._ranges(start, stop)
+        ]
+        if not parts:
+            return np.empty(0, dtype=self.dtype)
+        if len(parts) == 1:
+            return np.asarray(parts[0])
+        return np.concatenate(parts)
+
+    def iter_chunks(self, chunk_size, start=0, stop=None):
+        """Same contract as ``PropertyTable.iter_chunks`` — global
+        chunk starts, chunk boundaries independent of shard geometry."""
+        chunk_size = int(chunk_size)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        n = len(self)
+        start = int(start)
+        stop = n if stop is None else min(int(stop), n)
+        if not 0 <= start <= n:
+            raise IndexError(
+                f"PT {self.name!r}: start {start} out of range [0, {n}]"
+            )
+        for lo in range(start, stop, chunk_size):
+            hi = min(lo + chunk_size, stop)
+            yield lo, self.read_range(lo, hi)
+
+    def gather(self, instance_ids):
+        """Vectorised lookup, streamed shard by shard."""
+        ids = np.asarray(instance_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= len(self)):
+            raise IndexError(
+                f"PT {self.name!r}: ids out of range [0, {len(self)})"
+            )
+        out = np.empty(ids.size, dtype=self.dtype)
+        if ids.size == 0:
+            return out
+        rows = self._spool.shard_rows
+        shard_idx = ids // rows
+        for index in np.unique(shard_idx):
+            mask = shard_idx == index
+            values = self._load_shard(int(index))
+            out[mask] = values[ids[mask] - int(index) * rows]
+        return out
+
+    def to_property_table(self):
+        """Materialise (global stages: correlated matching, validation)."""
+        from ..tables import PropertyTable
+
+        return PropertyTable(self.name, self.read_range(0, len(self)))
+
+
+class LazyColumn:
+    """Array-like view over a spooled property column.
+
+    Supports exactly what the chunked writers do with ``.values``:
+    ``len``, ``dtype``, slicing (returns a real ndarray), and
+    ``np.asarray`` for global consumers.
+    """
+
+    def __init__(self, table):
+        self._table = table
+        self.dtype = table.dtype
+
+    def __len__(self):
+        return len(self._table)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(len(self._table))
+            values = self._table.read_range(start, stop)
+            return values if step == 1 else values[::step]
+        index = int(item)
+        if index < 0:
+            index += len(self._table)
+        return self._table.read_range(index, index + 1)[0]
+
+    def __array__(self, dtype=None, copy=None):
+        values = self._table.read_range(0, len(self._table))
+        return values if dtype is None else values.astype(dtype)
+
+    def __iter__(self):
+        for _, chunk in self._table.iter_chunks(
+            self._table._spool.shard_rows
+        ):
+            yield from chunk
+
+
+class SpooledEdgeTable(_SpooledBase):
+    """Spool-backed twin of :class:`~repro.tables.EdgeTable`."""
+
+    def __init__(self, name, spool, key, shards, num_tail_nodes,
+                 num_head_nodes, directed):
+        super().__init__(spool, key, shards)
+        self.name = str(name)
+        self.num_tail_nodes = int(num_tail_nodes)
+        self.num_head_nodes = int(num_head_nodes)
+        self.directed = bool(directed)
+
+    def __repr__(self):
+        return (
+            f"SpooledEdgeTable(name={self.name!r}, m={len(self)}, "
+            f"n_tail={self.num_tail_nodes}, n_head={self.num_head_nodes}, "
+            f"shards={len(self._shards)})"
+        )
+
+    @property
+    def num_edges(self):
+        return len(self)
+
+    @property
+    def is_bipartite(self):
+        return self.num_tail_nodes != self.num_head_nodes
+
+    @property
+    def num_nodes(self):
+        if self.is_bipartite:
+            raise ValueError(
+                f"ET {self.name!r} is bipartite; use num_tail_nodes / "
+                "num_head_nodes"
+            )
+        return self.num_tail_nodes
+
+    def _read_shard(self, index):
+        tails = _load(
+            self._spool._part_path(index, self._key, "tails"), "i"
+        )
+        heads = _load(
+            self._spool._part_path(index, self._key, "heads"), "i"
+        )
+        return tails, heads
+
+    def read_range(self, start, stop):
+        """``(tails, heads)`` of edge ids ``[start, stop)``."""
+        start, stop = int(start), int(stop)
+        if not 0 <= start <= stop <= len(self):
+            raise IndexError(
+                f"ET {self.name!r}: range [{start}, {stop}) out of "
+                f"bounds [0, {len(self)})"
+            )
+        tails_parts, heads_parts = [], []
+        for index, lo, hi in self._ranges(start, stop):
+            tails, heads = self._load_shard(index)
+            tails_parts.append(tails[lo:hi])
+            heads_parts.append(heads[lo:hi])
+        if not tails_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        if len(tails_parts) == 1:
+            return np.asarray(tails_parts[0]), np.asarray(heads_parts[0])
+        return np.concatenate(tails_parts), np.concatenate(heads_parts)
+
+    def tails_range(self, start, stop):
+        return self.read_range(start, stop)[0]
+
+    def heads_range(self, start, stop):
+        return self.read_range(start, stop)[1]
+
+    def iter_chunks(self, chunk_size, start=0, stop=None):
+        """Same contract as ``EdgeTable.iter_chunks``."""
+        chunk_size = int(chunk_size)
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        m = len(self)
+        start = int(start)
+        stop = m if stop is None else min(int(stop), m)
+        if not 0 <= start <= m:
+            raise IndexError(
+                f"ET {self.name!r}: start {start} out of range [0, {m}]"
+            )
+        for lo in range(start, stop, chunk_size):
+            hi = min(lo + chunk_size, stop)
+            tails, heads = self.read_range(lo, hi)
+            yield lo, tails, heads
+
+    def to_edge_table(self):
+        """Materialise (global stages only)."""
+        from ..tables import EdgeTable
+
+        tails, heads = self.read_range(0, len(self))
+        return EdgeTable(
+            self.name,
+            tails,
+            heads,
+            num_tail_nodes=self.num_tail_nodes,
+            num_head_nodes=self.num_head_nodes,
+            directed=self.directed,
+        )

@@ -581,7 +581,8 @@ def compile_scenario(spec, scale=None, seed=None):
 
 
 def run_scenario(compiled, workers=1, out_dir=None, formats=None,
-                 chunk_size=None, compress=None, validate=True):
+                 chunk_size=None, compress=None, validate=True,
+                 shard_rows=None, memory_budget=None):
     """Generate, export, and grade a compiled scenario.
 
     Parameters
@@ -599,9 +600,18 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
         override the recipe's ``export`` block.
     validate:
         run the graded audit (returns ``None`` report when False).
+    shard_rows, memory_budget:
+        either one switches to the out-of-core
+        :class:`~repro.core.sharded.ShardedExecutor`: the whole
+        pipeline runs per id-range shard with disk-spooled tables, so
+        peak memory is bounded by the shard size instead of the graph
+        size (byte-identical output; see docs/scaling.md).  The graded
+        audit materialises the graph, so pass ``validate=False`` for
+        graphs that genuinely do not fit in memory.
 
     Returns ``(graph, report, written)`` — the generated
-    :class:`~repro.core.result.PropertyGraph`, the
+    :class:`~repro.core.result.PropertyGraph` (a
+    :class:`~repro.core.sharded.ShardedResult` in sharded mode), the
     :class:`~repro.scenarios.report.GradedReport` (or ``None``), and
     the list of written export paths.
     """
@@ -619,6 +629,24 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
     compress = (
         spec.export_compress if compress is None else compress
     )
+    sharded = shard_rows is not None or memory_budget is not None
+    executor = None
+    if sharded:
+        from ..core.sharded import ShardedExecutor
+
+        executor = ShardedExecutor(
+            compiled.schema, compiled.scale, seed=compiled.seed,
+            shard_rows=shard_rows, memory_budget=memory_budget,
+            workers=workers,
+        )
+        # Export chunks must not exceed the shard size, or the sink
+        # would pull whole-table slices back into memory.  Chunk size
+        # never changes output bytes, so this keeps byte-identity.
+        from ..io import DEFAULT_CHUNK_SIZE
+
+        chunk_size = min(
+            chunk_size or DEFAULT_CHUNK_SIZE, executor.shard_rows
+        )
     written = []
     sink = None
     if out_dir is not None:
@@ -630,7 +658,10 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
             formats[0], primary_dir,
             chunk_size=chunk_size, compress=compress,
         )
-    graph = compiled.generator(workers=workers).generate(sink=sink)
+    if sharded:
+        graph = executor.run(sink=sink)
+    else:
+        graph = compiled.generator(workers=workers).generate(sink=sink)
     if sink is not None:
         written.extend(sink.written)
         for extra in formats[1:]:
@@ -641,8 +672,11 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
             written.extend(export_graph(graph, extra_sink))
     report = None
     if validate:
+        # The audit computes whole-table statistics (joints, degree
+        # histograms), so it needs in-memory tables.
+        target = graph.materialize() if sharded else graph
         report = run_graded(
-            graph, compiled.graded_checks,
+            target, compiled.graded_checks,
             scenario=compiled.name, seed=compiled.seed,
             scale=compiled.scale,
         )

@@ -22,7 +22,91 @@ import numpy as np
 from ..prng import RandomStream
 from ..tables import EdgeTable
 
-__all__ = ["StructureGenerator", "ensure_even_sum"]
+__all__ = ["EdgeChunkStream", "StructureGenerator", "ensure_even_sum"]
+
+
+class EdgeChunkStream:
+    """Chunked structure emission: the out-of-core twin of ``run``.
+
+    A chunkable generator's :meth:`StructureGenerator.run_chunked`
+    returns one of these instead of a materialised
+    :class:`~repro.tables.EdgeTable`.  It carries the table's metadata
+    up front (``num_edges``, endpoint id-space sizes, orientation) and
+    emits the edge columns in bounded id-range chunks via
+    :meth:`chunks`; the concatenation of all chunks is bit-identical
+    to ``run(n)`` for the same seed and parameters, which is what lets
+    the sharded executor generate structure without ever holding the
+    whole edge list.
+
+    ``emit(lo, hi)`` must be a pure function of the range — streams are
+    counter-based, so re-iterating the chunks is cheap and exact.
+    """
+
+    def __init__(self, name, num_edges, num_tail_nodes, num_head_nodes,
+                 directed, chunk_edges, emit):
+        self.name = str(name)
+        self.num_edges = int(num_edges)
+        self.num_tail_nodes = int(num_tail_nodes)
+        self.num_head_nodes = int(num_head_nodes)
+        self.directed = bool(directed)
+        self.chunk_edges = int(chunk_edges)
+        if self.chunk_edges < 1:
+            raise ValueError("chunk_edges must be >= 1")
+        self._emit = emit
+
+    def __len__(self):
+        return self.num_edges
+
+    @property
+    def is_bipartite(self):
+        return self.num_tail_nodes != self.num_head_nodes
+
+    @property
+    def num_nodes(self):
+        """Node id-space size for monopartite streams."""
+        if self.is_bipartite:
+            raise ValueError(
+                f"chunk stream {self.name!r} is bipartite; use "
+                "num_tail_nodes / num_head_nodes"
+            )
+        return self.num_tail_nodes
+
+    def chunks(self):
+        """Yield ``(chunk_start, tails, heads)`` in edge-id order.
+
+        Arrays are ``int64`` — also for empty streams, so downstream
+        spools inherit the correct dtype from zero-edge tables (the
+        same empty-shard contract the property pipeline guarantees).
+        """
+        for lo in range(0, self.num_edges, self.chunk_edges):
+            hi = min(lo + self.chunk_edges, self.num_edges)
+            tails, heads = self._emit(lo, hi)
+            tails = np.ascontiguousarray(tails, dtype=np.int64)
+            heads = np.ascontiguousarray(heads, dtype=np.int64)
+            if len(tails) != hi - lo or len(heads) != hi - lo:
+                raise ValueError(
+                    f"chunk stream {self.name!r}: emit({lo}, {hi}) "
+                    f"returned {len(tails)}/{len(heads)} rows"
+                )
+            yield lo, tails, heads
+
+    def to_edge_table(self):
+        """Materialise the stream (tests and global matching stages)."""
+        parts = list(self.chunks())
+        if parts:
+            tails = np.concatenate([t for _, t, _ in parts])
+            heads = np.concatenate([h for _, _, h in parts])
+        else:
+            tails = np.empty(0, dtype=np.int64)
+            heads = np.empty(0, dtype=np.int64)
+        return EdgeTable(
+            self.name,
+            tails,
+            heads,
+            num_tail_nodes=self.num_tail_nodes,
+            num_head_nodes=self.num_head_nodes,
+            directed=self.directed,
+        )
 
 
 class StructureGenerator:
@@ -39,6 +123,14 @@ class StructureGenerator:
 
     #: Name under which the generator is registered for the DSL.
     name = "abstract"
+
+    #: First-class emission classification (see docs/scaling.md):
+    #: ``"chunkable"`` generators can emit their edge table in bounded
+    #: id-range chunks bit-identical to ``run``; ``"sequential"``
+    #: generators need the whole graph in memory (iterative models such
+    #: as preferential attachment or forest fire).  Whether a *given
+    #: configuration* can chunk is answered by :meth:`chunkable`.
+    emission = "sequential"
 
     def __init__(self, seed=0, **params):
         self.seed = int(seed)
@@ -67,6 +159,45 @@ class StructureGenerator:
             raise ValueError("n must be nonnegative")
         stream = RandomStream(self.seed, f"sg.{self.name}")
         return self._generate(n, stream)
+
+    def chunkable(self, n):
+        """Can *this configuration* emit ``run(n)`` in chunks?
+
+        Defaults to the class-level :attr:`emission` flag; subclasses
+        override when chunkability depends on parameters (e.g. R-MAT
+        with ``simplify=True`` needs a global deduplication pass).
+        """
+        return self.emission == "chunkable"
+
+    def run_chunked(self, n, chunk_edges, spill=None):
+        """Chunked twin of :meth:`run`: an :class:`EdgeChunkStream`.
+
+        ``spill`` is an optional callable ``spill(name, array) ->
+        array-like`` used to park per-stream state that is genuinely
+        global (sampled pair codes, degree offsets) outside RAM; the
+        sharded executor passes a disk spiller that hands back a
+        memory-mapped view.  ``None`` keeps state in memory.
+
+        Raises ``TypeError`` for sequential generators/configurations.
+        """
+        n = int(n)
+        if n < 0:
+            raise ValueError("n must be nonnegative")
+        if not self.chunkable(n):
+            raise TypeError(
+                f"{type(self).__name__} ({self.name!r}) is sequential "
+                "for this configuration; run() is the only emission path"
+            )
+        stream = RandomStream(self.seed, f"sg.{self.name}")
+        if spill is None:
+            spill = lambda name, array: array  # noqa: E731
+        return self._generate_chunked(n, stream, int(chunk_edges), spill)
+
+    def _generate_chunked(self, n, stream, chunk_edges, spill):
+        raise NotImplementedError(
+            f"{type(self).__name__} declares emission="
+            f"{self.emission!r} but does not implement chunked emission"
+        )
 
     def get_num_nodes(self, num_edges):
         """Number of nodes so that ``run(n)`` yields ≈ ``num_edges`` edges.

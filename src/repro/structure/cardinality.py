@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import StructureGenerator
+from .base import EdgeChunkStream, StructureGenerator
 from ..tables import EdgeTable
 
 __all__ = ["OneToManyGenerator", "OneToOneGenerator"]
@@ -43,6 +43,7 @@ class OneToManyGenerator(StructureGenerator):
     """
 
     name = "one_to_many"
+    emission = "chunkable"
 
     def parameter_names(self):
         return {"degree_distribution", "degree_offset"}
@@ -71,6 +72,30 @@ class OneToManyGenerator(StructureGenerator):
             num_tail_nodes=n,
             num_head_nodes=m,
             directed=True,
+        )
+
+    def _generate_chunked(self, n, stream, chunk_edges, spill):
+        degrees = self._tail_degrees(n, stream.substream("degrees"))
+        m = int(degrees.sum())
+        # Degree totals are the genuinely-global state here (ROADMAP's
+        # "degree totals" spill case): O(n_tails) offsets, spillable.
+        offsets = spill(
+            "offsets",
+            np.concatenate([
+                np.zeros(1, dtype=np.int64),
+                np.cumsum(degrees, dtype=np.int64),
+            ]),
+        )
+
+        def emit(lo, hi):
+            edge_ids = np.arange(lo, hi, dtype=np.int64)
+            tails = (
+                np.searchsorted(offsets, edge_ids, side="right") - 1
+            ).astype(np.int64)
+            return tails, edge_ids
+
+        return EdgeChunkStream(
+            self.name, m, n, m, True, chunk_edges, emit
         )
 
     def expected_edges_for_nodes(self, n):

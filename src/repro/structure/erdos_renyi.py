@@ -10,16 +10,19 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import StructureGenerator, edge_table_from_pairs
+from .base import EdgeChunkStream, StructureGenerator, edge_table_from_pairs
 
 __all__ = ["ErdosRenyi", "ErdosRenyiM"]
 
 
-def _sample_distinct_pairs(n, count, stream, name):
-    """Sample ``count`` distinct unordered non-loop pairs from ``n`` nodes.
+def _sample_pair_codes(n, count, stream, name):
+    """Sample ``count`` distinct linear pair codes from ``n`` nodes.
 
     Oversamples and deduplicates in rounds; with ``count`` well below the
-    total pair count this converges in one or two rounds.
+    total pair count this converges in one or two rounds.  The returned
+    order (sorted, or key-ranked after thinning) is the edge-id order of
+    the generated table, so chunked decoding of slices reproduces
+    single-shot generation exactly.
     """
     total_pairs = n * (n - 1) // 2
     if count > total_pairs:
@@ -42,8 +45,16 @@ def _sample_distinct_pairs(n, count, stream, name):
         key_stream = stream.substream("thin")
         keys = key_stream.uniform(chosen)
         chosen = chosen[np.argsort(keys, kind="stable")[:count]]
-    # Decode the linear pair index into (u, v) with u < v using the
-    # triangular-number inverse.
+    return chosen
+
+
+def _decode_pair_codes(chosen):
+    """Decode linear pair codes into ``(v, u)`` endpoint columns.
+
+    Elementwise triangular-number inverse (``u > v``), so decoding a
+    slice of the code array equals the same slice of a whole-array
+    decode — the property chunked emission relies on.
+    """
     k = chosen.astype(np.float64)
     u = np.floor((1.0 + np.sqrt(1.0 + 8.0 * k)) / 2.0).astype(np.int64)
     # Guard against floating point at the triangle boundaries.
@@ -55,7 +66,33 @@ def _sample_distinct_pairs(n, count, stream, name):
     u[too_small] += 1
     tri = u * (u - 1) // 2
     v = chosen - tri
+    return v, u
+
+
+def _sample_distinct_pairs(n, count, stream, name):
+    """Sample ``count`` distinct unordered non-loop pairs from ``n`` nodes."""
+    v, u = _decode_pair_codes(_sample_pair_codes(n, count, stream, name))
     return np.stack([v, u], axis=1)
+
+
+def _pair_code_chunk_stream(name, n, m, stream, chunk_edges, spill):
+    """Shared chunked-emission body of the two ER generators.
+
+    The sampled code array is the only whole-table state; it is handed
+    to ``spill`` (identity in memory, or the executor's disk spiller
+    returning a memory-mapped view), after which each chunk decodes a
+    bounded slice.
+    """
+    codes = spill(
+        "codes", _sample_pair_codes(n, m, stream.substream("pairs"), name)
+    )
+
+    def emit(lo, hi):
+        return _decode_pair_codes(np.asarray(codes[lo:hi]))
+
+    return EdgeChunkStream(
+        name, m, n, n, False, chunk_edges, emit
+    )
 
 
 class ErdosRenyi(StructureGenerator):
@@ -67,6 +104,7 @@ class ErdosRenyi(StructureGenerator):
     """
 
     name = "erdos_renyi"
+    emission = "chunkable"
 
     def parameter_names(self):
         return {"p"}
@@ -76,7 +114,7 @@ class ErdosRenyi(StructureGenerator):
         if p is not None and not 0.0 <= p <= 1.0:
             raise ValueError("p must lie in [0, 1]")
 
-    def _generate(self, n, stream):
+    def _draw_edge_count(self, n, stream):
         p = self._params.get("p")
         if p is None:
             raise ValueError("ErdosRenyi needs parameter 'p'")
@@ -86,9 +124,18 @@ class ErdosRenyi(StructureGenerator):
         # Gaussian approximation of the binomial count, deterministic.
         z = float(stream.normal(np.int64(1), 0.0, 1.0))
         m = int(round(mean + std * z))
-        m = max(0, min(m, total_pairs))
+        return max(0, min(m, total_pairs))
+
+    def _generate(self, n, stream):
+        m = self._draw_edge_count(n, stream)
         pairs = _sample_distinct_pairs(n, m, stream.substream("pairs"), self.name)
         return edge_table_from_pairs(self.name, pairs, n)
+
+    def _generate_chunked(self, n, stream, chunk_edges, spill):
+        m = self._draw_edge_count(n, stream)
+        return _pair_code_chunk_stream(
+            self.name, n, m, stream, chunk_edges, spill
+        )
 
     def expected_edges_for_nodes(self, n):
         p = self._params.get("p")
@@ -101,6 +148,7 @@ class ErdosRenyiM(StructureGenerator):
     """G(n, m): exactly ``m`` uniform distinct edges."""
 
     name = "erdos_renyi_m"
+    emission = "chunkable"
 
     def parameter_names(self):
         return {"m", "edges_per_node"}
@@ -125,6 +173,12 @@ class ErdosRenyiM(StructureGenerator):
         m = min(self._edge_count(n), n * (n - 1) // 2)
         pairs = _sample_distinct_pairs(n, m, stream.substream("pairs"), self.name)
         return edge_table_from_pairs(self.name, pairs, n)
+
+    def _generate_chunked(self, n, stream, chunk_edges, spill):
+        m = min(self._edge_count(n), n * (n - 1) // 2)
+        return _pair_code_chunk_stream(
+            self.name, n, m, stream, chunk_edges, spill
+        )
 
     def expected_edges_for_nodes(self, n):
         return min(self._edge_count(n), n * (n - 1) // 2)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import StructureGenerator
+from .base import EdgeChunkStream, StructureGenerator
 from ..tables import EdgeTable
 
 __all__ = ["RMat"]
@@ -50,6 +50,12 @@ class RMat(StructureGenerator):
     """
 
     name = "rmat"
+    emission = "chunkable"
+
+    def chunkable(self, n):
+        # simplify=True deduplicates across the whole table — a global
+        # pass — so only raw (multigraph) emission can chunk.
+        return not self._params.get("simplify", True)
 
     def parameter_names(self):
         return {"a", "b", "c", "edge_factor", "noise", "simplify"}
@@ -77,26 +83,25 @@ class RMat(StructureGenerator):
 
     # -- generation ------------------------------------------------------------
 
-    def _generate(self, n, stream):
-        if n == 0:
-            return EdgeTable(self.name, [], [], num_tail_nodes=0)
+    def _resolve_scale(self, n):
         scale = int(np.ceil(np.log2(max(n, 2))))
         if (1 << scale) != n:
             raise ValueError(
                 f"RMat requires n to be a power of two, got {n}; "
                 "use run_scale(scale)"
             )
-        edge_factor = self._params.get("edge_factor", _DEFAULT_EDGE_FACTOR)
-        m = int(n * edge_factor)
+        return scale
+
+    def _level_plan(self, scale, stream):
+        """Per-level ``(stream, la, lb, lc, ld)`` — the whole random
+        state of a run.  Streams are counter-based, so the plan makes
+        edge generation a pure function of the edge-id range."""
         a = self._params.get("a", _DEFAULT_A)
         b = self._params.get("b", _DEFAULT_B)
         c = self._params.get("c", _DEFAULT_C)
         d = 1.0 - a - b - c
         noise = self._params.get("noise", 0.0)
-
-        tails = np.zeros(m, dtype=np.int64)
-        heads = np.zeros(m, dtype=np.int64)
-        edge_idx = np.arange(m, dtype=np.int64)
+        plan = []
         for level in range(scale):
             level_stream = stream.substream(f"level{level}")
             if noise:
@@ -109,6 +114,15 @@ class RMat(StructureGenerator):
                 la, lb, lc, ld = la / total, lb / total, lc / total, ld / total
             else:
                 la, lb, lc, ld = a, b, c, d
+            plan.append((level_stream, la, lb, lc, ld))
+        return plan
+
+    @staticmethod
+    def _descend(plan, scale, edge_idx):
+        """Quadrant descent for the given edge ids (elementwise pure)."""
+        tails = np.zeros(edge_idx.size, dtype=np.int64)
+        heads = np.zeros(edge_idx.size, dtype=np.int64)
+        for level, (level_stream, la, lb, lc, ld) in enumerate(plan):
             u = level_stream.uniform(edge_idx)
             # Quadrant choice: 0 -> (0,0), 1 -> (0,1), 2 -> (1,0), 3 -> (1,1)
             right = (u >= la) & (u < la + lb) | (u >= la + lb + lc)
@@ -116,13 +130,44 @@ class RMat(StructureGenerator):
             bit = np.int64(1 << (scale - 1 - level))
             tails += down.astype(np.int64) * bit
             heads += right.astype(np.int64) * bit
+        return tails, heads
 
+    def _generate(self, n, stream):
+        if n == 0:
+            return EdgeTable(self.name, [], [], num_tail_nodes=0)
+        scale = self._resolve_scale(n)
+        edge_factor = self._params.get("edge_factor", _DEFAULT_EDGE_FACTOR)
+        m = int(n * edge_factor)
+        plan = self._level_plan(scale, stream)
+        tails, heads = self._descend(
+            plan, scale, np.arange(m, dtype=np.int64)
+        )
         table = EdgeTable(
             self.name, tails, heads, num_tail_nodes=n, num_head_nodes=n
         )
         if self._params.get("simplify", True):
             table = table.deduplicated()
         return table
+
+    def _generate_chunked(self, n, stream, chunk_edges, spill):
+        if n == 0:
+            return EdgeChunkStream(
+                self.name, 0, 0, 0, False, chunk_edges,
+                lambda lo, hi: (np.empty(0, dtype=np.int64),) * 2,
+            )
+        scale = self._resolve_scale(n)
+        edge_factor = self._params.get("edge_factor", _DEFAULT_EDGE_FACTOR)
+        m = int(n * edge_factor)
+        plan = self._level_plan(scale, stream)
+
+        def emit(lo, hi):
+            return self._descend(
+                plan, scale, np.arange(lo, hi, dtype=np.int64)
+            )
+
+        return EdgeChunkStream(
+            self.name, m, n, n, False, chunk_edges, emit
+        )
 
     def expected_edges_for_nodes(self, n):
         edge_factor = self._params.get("edge_factor", _DEFAULT_EDGE_FACTOR)

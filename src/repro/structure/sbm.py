@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import StructureGenerator
+from .base import EdgeChunkStream, StructureGenerator
 from ..tables import EdgeTable
 
 __all__ = ["StochasticBlockModel"]
@@ -38,6 +38,7 @@ class StochasticBlockModel(StructureGenerator):
     """
 
     name = "sbm"
+    emission = "chunkable"
 
     def parameter_names(self):
         return {"sizes", "fractions", "probabilities"}
@@ -80,8 +81,13 @@ class StochasticBlockModel(StructureGenerator):
         sizes = self._group_sizes(n)
         return np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
 
-    def _sample_block(self, rows, cols, prob, stream, intra):
-        """Sample edges of one block (rows x cols id ranges)."""
+    def _sample_block_codes(self, rows, cols, prob, stream, intra):
+        """Sample the linear edge codes of one block (no decoding).
+
+        The code array is the block's only whole-size state, which is
+        what chunked emission spills; decoding a slice of it is
+        elementwise and therefore chunk-pure.
+        """
         r0, r1 = rows
         c0, c1 = cols
         nr, nc = r1 - r0, c1 - c0
@@ -90,14 +96,14 @@ class StochasticBlockModel(StructureGenerator):
         else:
             total = nr * nc
         if total == 0 or prob <= 0.0:
-            return np.empty((0, 2), dtype=np.int64)
+            return np.empty(0, dtype=np.int64)
         mean = total * prob
         std = np.sqrt(total * prob * (1.0 - prob))
         z = float(stream.normal(np.int64(0), 0.0, 1.0))
         m = int(round(mean + std * z))
         m = max(0, min(m, total))
         if m == 0:
-            return np.empty((0, 2), dtype=np.int64)
+            return np.empty(0, dtype=np.int64)
         # Sample m distinct linear indices within the block.
         chosen = np.empty(0, dtype=np.int64)
         round_id = 0
@@ -112,6 +118,11 @@ class StochasticBlockModel(StructureGenerator):
         if chosen.size > m:
             keys = stream.substream("thin").uniform(chosen)
             chosen = chosen[np.argsort(keys, kind="stable")[:m]]
+        return chosen
+
+    @staticmethod
+    def _decode_block_codes(chosen, r0, c0, nc, intra):
+        """Decode block codes into ``(tails, heads)`` (elementwise)."""
         if intra:
             k = chosen.astype(np.float64)
             u = np.floor((1.0 + np.sqrt(1.0 + 8.0 * k)) / 2.0).astype(np.int64)
@@ -121,12 +132,22 @@ class StochasticBlockModel(StructureGenerator):
             u[chosen >= tri + u] += 1
             tri = u * (u - 1) // 2
             v = chosen - tri
-            return np.stack([r0 + v, r0 + u], axis=1)
+            return r0 + v, r0 + u
         u = chosen // nc
         v = chosen % nc
-        return np.stack([r0 + u, c0 + v], axis=1)
+        return r0 + u, c0 + v
 
-    def _generate(self, n, stream):
+    def _sample_block(self, rows, cols, prob, stream, intra):
+        """Sample edges of one block (rows x cols id ranges)."""
+        chosen = self._sample_block_codes(rows, cols, prob, stream, intra)
+        if chosen.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        tails, heads = self._decode_block_codes(
+            chosen, rows[0], cols[0], cols[1] - cols[0], intra
+        )
+        return np.stack([tails, heads], axis=1)
+
+    def _block_layout(self, n):
         probs = self._params.get("probabilities")
         if probs is None:
             raise ValueError("SBM needs 'probabilities'")
@@ -138,6 +159,10 @@ class StochasticBlockModel(StructureGenerator):
                 f"{probs.shape[0]}x{probs.shape[1]}"
             )
         offsets = np.concatenate([[0], np.cumsum(sizes)])
+        return probs, sizes, offsets
+
+    def _generate(self, n, stream):
+        probs, sizes, offsets = self._block_layout(n)
         chunks = []
         k = sizes.size
         for i in range(k):
@@ -162,6 +187,65 @@ class StochasticBlockModel(StructureGenerator):
             pairs[:, 1],
             num_tail_nodes=n,
             num_head_nodes=n,
+        )
+
+    def _generate_chunked(self, n, stream, chunk_edges, spill):
+        probs, sizes, offsets = self._block_layout(n)
+        k = sizes.size
+        # (edge-id start, r0, c0, nc, intra, codes) per non-empty block,
+        # in the same (i, j), i <= j order run() concatenates them.
+        blocks = []
+        total_m = 0
+        for i in range(k):
+            for j in range(i, k):
+                block_stream = stream.substream(f"block{i}.{j}")
+                chosen = self._sample_block_codes(
+                    (offsets[i], offsets[i + 1]),
+                    (offsets[j], offsets[j + 1]),
+                    probs[i, j],
+                    block_stream,
+                    intra=(i == j),
+                )
+                if chosen.size:
+                    codes = spill(f"block{i}.{j}", chosen)
+                    blocks.append((
+                        total_m,
+                        int(offsets[i]),
+                        int(offsets[j]),
+                        int(offsets[j + 1] - offsets[j]),
+                        i == j,
+                        codes,
+                    ))
+                    total_m += chosen.size
+        starts = [b[0] for b in blocks]
+
+        def emit(lo, hi):
+            import bisect
+
+            tails_parts, heads_parts = [], []
+            pos = max(0, bisect.bisect_right(starts, lo) - 1)
+            for start, r0, c0, nc, intra, codes in blocks[pos:]:
+                if start >= hi:
+                    break
+                stop = start + len(codes)
+                if stop <= lo:
+                    continue
+                piece = np.asarray(
+                    codes[max(lo - start, 0):hi - start]
+                )
+                t, h = self._decode_block_codes(piece, r0, c0, nc, intra)
+                tails_parts.append(t)
+                heads_parts.append(h)
+            if not tails_parts:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty.copy()
+            return (
+                np.concatenate(tails_parts),
+                np.concatenate(heads_parts),
+            )
+
+        return EdgeChunkStream(
+            self.name, total_m, n, n, False, chunk_edges, emit
         )
 
     def expected_edges_for_nodes(self, n):

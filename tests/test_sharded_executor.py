@@ -1,0 +1,519 @@
+"""Out-of-core sharded generation: equivalence with the in-memory path.
+
+The load-bearing claim of ``core/sharded.py`` is *byte-identity*: for
+any shard size and worker count, streaming the pipeline per id-range
+shard into the existing sinks writes exactly the bytes the in-memory
+``export_graph`` writes.  These tests pin that claim on three zoo
+recipes (covering chunkable structures, sequential structures, strict
+cardinalities, and both correlated matching variants), plus the spool
+and manifest-merge layers underneath it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphGenerator,
+    ShardedExecutor,
+    execute_sharded,
+    parse_memory_budget,
+)
+from repro.core.schema import (
+    Cardinality,
+    EdgeType,
+    GeneratorSpec,
+    NodeType,
+    PropertyDef,
+    Schema,
+)
+from repro.core.sharded import shard_rows_for_budget
+from repro.io import (
+    TableSpool,
+    export_graph,
+    make_sink,
+    make_source,
+    merge_shard_manifests,
+)
+from repro.scenarios import compile_scenario
+from repro.scenarios.zoo import load_zoo
+
+# Reduced scales keep each recipe fast while exercising multi-shard
+# paths; recommender keeps its recipe scale because head_nodes is baked
+# into the structure params.
+RECIPE_SCALES = {
+    "social_network": {"Person": 220},
+    "web_graph_rmat": {"Page": 512},
+    "recommender_bipartite": None,
+}
+
+
+@pytest.fixture(scope="module")
+def compiled_recipes():
+    return {
+        name: compile_scenario(load_zoo(name), scale=scale)
+        for name, scale in RECIPE_SCALES.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_graphs(compiled_recipes):
+    return {
+        name: GraphGenerator(
+            c.schema, c.scale, seed=c.seed
+        ).generate()
+        for name, c in compiled_recipes.items()
+    }
+
+
+def _tree_bytes(root):
+    root = Path(root)
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def _run_sharded(compiled, sink, shard_rows, workers, spool_dir):
+    result = ShardedExecutor(
+        compiled.schema,
+        compiled.scale,
+        seed=compiled.seed,
+        shard_rows=shard_rows,
+        workers=workers,
+        spool_dir=spool_dir,
+    ).run(sink=sink)
+    result.cleanup()
+    return result
+
+
+WHOLE = 10**9  # one shard covers the whole graph
+
+
+class TestSinkByteIdentity:
+    """Sharded sink output == in-memory export, byte for byte."""
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl", "graphml", "edgelist"])
+    @pytest.mark.parametrize("compress", [None, "gzip"])
+    def test_social_network_matrix(
+        self, compiled_recipes, serial_graphs, tmp_path, fmt, compress
+    ):
+        self._assert_matrix(
+            compiled_recipes["social_network"],
+            serial_graphs["social_network"],
+            tmp_path, fmt, compress,
+            shard_sizes=(97, 1024, WHOLE),
+        )
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    def test_web_graph_rmat(
+        self, compiled_recipes, serial_graphs, tmp_path, fmt
+    ):
+        self._assert_matrix(
+            compiled_recipes["web_graph_rmat"],
+            serial_graphs["web_graph_rmat"],
+            tmp_path, fmt, None,
+            shard_sizes=(97, 1024, WHOLE),
+        )
+
+    @pytest.mark.parametrize("compress", [None, "gzip"])
+    def test_recommender_bipartite(
+        self, compiled_recipes, serial_graphs, tmp_path, compress
+    ):
+        self._assert_matrix(
+            compiled_recipes["recommender_bipartite"],
+            serial_graphs["recommender_bipartite"],
+            tmp_path, "csv", compress,
+            shard_sizes=(1031, WHOLE),
+        )
+
+    @staticmethod
+    def _assert_matrix(compiled, serial, tmp_path, fmt, compress,
+                       shard_sizes):
+        ref = tmp_path / "ref"
+        export_graph(serial, make_sink(fmt, ref, compress=compress))
+        expected = _tree_bytes(ref)
+        for shard_rows in shard_sizes:
+            for workers in (1, 2):
+                out = tmp_path / f"s{shard_rows}w{workers}"
+                _run_sharded(
+                    compiled,
+                    make_sink(fmt, out, compress=compress),
+                    shard_rows, workers,
+                    tmp_path / f"spool{shard_rows}w{workers}",
+                )
+                got = _tree_bytes(out)
+                assert got.keys() == expected.keys(), (
+                    fmt, compress, shard_rows, workers
+                )
+                for key in expected:
+                    assert got[key] == expected[key], (
+                        fmt, compress, shard_rows, workers, key
+                    )
+
+
+class TestShardedTables:
+    """Table-level equality and round-trips beyond the sink bytes."""
+
+    def test_materialize_equals_serial(
+        self, compiled_recipes, serial_graphs, tmp_path
+    ):
+        compiled = compiled_recipes["social_network"]
+        serial = serial_graphs["social_network"]
+        result = ShardedExecutor(
+            compiled.schema, compiled.scale, seed=compiled.seed,
+            shard_rows=53, spool_dir=tmp_path / "spool",
+        ).run()
+        graph = result.materialize()
+        assert graph.node_counts == serial.node_counts
+        for key, table in serial.node_properties.items():
+            got = graph.node_properties[key]
+            assert got.values.dtype == table.values.dtype
+            assert list(got.values) == list(table.values)
+        for key, table in serial.edge_tables.items():
+            assert graph.edge_tables[key] == table
+        for key, table in serial.edge_properties.items():
+            assert np.array_equal(
+                np.asarray(graph.edge_properties[key].values),
+                np.asarray(table.values),
+            )
+        result.cleanup()
+
+    def test_source_round_trip(self, compiled_recipes, tmp_path):
+        """sharded run → sink → GraphSource reads the serial tables."""
+        compiled = compiled_recipes["social_network"]
+        out = tmp_path / "out"
+        execute_sharded(
+            compiled.schema, compiled.scale, seed=compiled.seed,
+            sink=make_sink("csv", out), shard_rows=64,
+            spool_dir=tmp_path / "spool",
+        ).cleanup()
+        source = make_source("csv", out)
+        serial = GraphGenerator(
+            compiled.schema, compiled.scale, seed=compiled.seed
+        ).generate()
+        knows = source.read_edge_table("knows")
+        assert np.array_equal(knows.tails, serial.edges("knows").tails)
+        assert np.array_equal(knows.heads, serial.edges("knows").heads)
+        country = source.read_property_table("Person.country")
+        assert list(country.values) == list(
+            serial.node_property("Person", "country").values
+        )
+
+    def test_memory_budget_selects_shard_rows(self):
+        assert parse_memory_budget("1KB") == 1024
+        assert parse_memory_budget("512MB") == 512 * 1024**2
+        assert parse_memory_budget("2GiB") == 2 * 1024**3
+        assert parse_memory_budget(4096) == 4096
+        assert shard_rows_for_budget(parse_memory_budget("64MB")) == (
+            64 * 1024**2 // 512
+        )
+        # Tiny budgets clamp to the floor instead of degenerating.
+        assert shard_rows_for_budget(1) == 1024
+        with pytest.raises(ValueError):
+            parse_memory_budget("a lot")
+        with pytest.raises(ValueError):
+            parse_memory_budget(0)
+
+    def test_budget_mode_is_identical_to_shard_rows_mode(
+        self, compiled_recipes, serial_graphs, tmp_path
+    ):
+        compiled = compiled_recipes["web_graph_rmat"]
+        serial = serial_graphs["web_graph_rmat"]
+        result = ShardedExecutor(
+            compiled.schema, compiled.scale, seed=compiled.seed,
+            memory_budget="1MB", spool_dir=tmp_path / "spool",
+        ).run()
+        assert result.spool.shard_rows == shard_rows_for_budget(
+            parse_memory_budget("1MB")
+        )
+        graph = result.materialize()
+        for key, table in serial.edge_tables.items():
+            assert graph.edge_tables[key] == table
+        result.cleanup()
+
+
+class TestEmptyShardContract:
+    """Zero-row tables keep their generator dtype end to end."""
+
+    @staticmethod
+    def _tiny_schema():
+        schema = Schema(node_types=[
+            NodeType("Person", properties=[
+                PropertyDef(
+                    "age", "long",
+                    GeneratorSpec("uniform_int", {"low": 18, "high": 80}),
+                ),
+                PropertyDef(
+                    "handle", "string",
+                    GeneratorSpec("composite_key", {"prefix": "p"}),
+                ),
+            ]),
+            NodeType("Message", properties=[
+                PropertyDef(
+                    "length", "long",
+                    GeneratorSpec("uniform_int", {"low": 1, "high": 100}),
+                ),
+            ]),
+        ])
+        schema.add_edge_type(EdgeType(
+            "knows", tail_type="Person", head_type="Person",
+            structure=GeneratorSpec(
+                "erdos_renyi_m", {"edges_per_node": 2}
+            ),
+        ))
+        schema.add_edge_type(EdgeType(
+            "creates", tail_type="Person", head_type="Message",
+            cardinality=Cardinality.ONE_TO_MANY,
+            directed=True,
+            structure=GeneratorSpec("one_to_many", {
+                "degree_distribution": _zipf(1.2, 4),
+                "degree_offset": 0,
+            }),
+        ))
+        return schema
+
+    @pytest.mark.parametrize("persons", [0, 1])
+    def test_degenerate_scales_match_serial(self, tmp_path, persons):
+        """Person=0 → every table empty; Person=1 → zero-edge tables.
+
+        Both degenerate shapes must round-trip the sharded path with
+        the exact dtypes the serial engine produces (the PR-1 dtype
+        guarantee extended to structure chunking).
+        """
+        schema = self._tiny_schema()
+        serial = GraphGenerator(
+            schema, {"Person": persons}, seed=3
+        ).generate()
+        result = ShardedExecutor(
+            schema, {"Person": persons}, seed=3, shard_rows=8,
+            spool_dir=tmp_path / "spool",
+        ).run()
+        graph = result.materialize()
+        assert graph.node_counts == serial.node_counts
+        for key, table in serial.node_properties.items():
+            got = graph.node_properties[key]
+            assert got.values.dtype == table.values.dtype, key
+            assert list(got.values) == list(table.values)
+        for key, table in serial.edge_tables.items():
+            spooled = result.edge_tables[key]
+            tails, heads = spooled.read_range(0, len(spooled))
+            assert tails.dtype == np.int64
+            assert heads.dtype == np.int64
+            assert graph.edge_tables[key] == table
+        result.cleanup()
+
+    def test_empty_tables_recorded_in_manifest(self, tmp_path):
+        schema = self._tiny_schema()
+        result = ShardedExecutor(
+            schema, {"Person": 0}, seed=3, shard_rows=8,
+            spool_dir=tmp_path / "spool",
+        ).run()
+        manifest = json.loads(
+            (tmp_path / "spool" / "manifest.json").read_text()
+        )
+        tables = manifest["tables"]
+        assert tables["Person.age"]["rows"] == 0
+        assert tables["Person.age"]["dtype"] == "<i8"
+        assert tables["Person.handle"]["dtype"] == "object"
+        assert tables["knows"]["rows"] == 0
+        assert tables["knows"]["kind"] == "edge"
+        result.cleanup()
+
+
+def _zipf(alpha, k):
+    from repro.stats import Zipf
+
+    return Zipf(alpha, k)
+
+
+class TestTableSpool:
+    """The spool layer in isolation."""
+
+    def test_property_round_trip_across_shards(self, tmp_path):
+        spool = TableSpool(tmp_path, shard_rows=4)
+        values = np.arange(11, dtype=np.int64) * 3
+        for index, (lo, hi) in enumerate(spool.shard_bounds(11)):
+            spool.write_property_shard("T.x", index, values[lo:hi])
+        table = spool.finish_property("T.x")
+        assert len(table) == 11
+        assert table.values.dtype == np.int64
+        assert np.array_equal(table.read_range(0, 11), values)
+        assert np.array_equal(table.read_range(3, 9), values[3:9])
+        # Chunk starts are global — independent of shard geometry.
+        chunks = list(table.iter_chunks(5))
+        assert [lo for lo, _ in chunks] == [0, 5, 10]
+        assert np.array_equal(
+            np.concatenate([c for _, c in chunks]), values
+        )
+        assert np.array_equal(
+            table.gather(np.array([10, 0, 5, 5])),
+            values[[10, 0, 5, 5]],
+        )
+
+    def test_object_dtype_round_trip(self, tmp_path):
+        spool = TableSpool(tmp_path, shard_rows=2)
+        values = np.array(["a", "bb", None, "ccc"], dtype=object)
+        spool.write_property_shard("T.s", 0, values[:2])
+        spool.write_property_shard("T.s", 1, values[2:])
+        table = spool.finish_property("T.s")
+        assert table.values.dtype == object
+        assert list(table.values) == list(values)
+        assert list(np.asarray(table.values)) == list(values)
+
+    def test_out_of_order_shard_rejected(self, tmp_path):
+        spool = TableSpool(tmp_path, shard_rows=4)
+        with pytest.raises(ValueError, match="out of order"):
+            spool.write_property_shard(
+                "T.x", 1, np.arange(4, dtype=np.int64)
+            )
+
+    def test_edge_table_round_trip(self, tmp_path):
+        spool = TableSpool(tmp_path, shard_rows=3)
+        tails = np.array([0, 1, 2, 3, 4], dtype=np.int64)
+        heads = np.array([1, 2, 3, 4, 0], dtype=np.int64)
+        spool.write_edge_shard("e", 0, tails[:3], heads[:3])
+        spool.write_edge_shard("e", 1, tails[3:], heads[3:])
+        table = spool.finish_edge("e", 5, 5, False)
+        assert table.num_edges == 5
+        t, h = table.read_range(1, 4)
+        assert np.array_equal(t, tails[1:4])
+        assert np.array_equal(h, heads[1:4])
+        loaded = table.to_edge_table()
+        assert np.array_equal(loaded.tails, tails)
+        assert loaded.num_tail_nodes == 5
+
+    def test_finish_edge_synthesizes_empty_int64_shard(self, tmp_path):
+        spool = TableSpool(tmp_path, shard_rows=3)
+        table = spool.finish_edge("e", 7, 7, True)
+        assert len(table) == 0
+        tails, heads = table.read_range(0, 0)
+        assert tails.dtype == np.int64
+        part = np.load(spool._part_path(0, "e", "tails"))
+        assert part.dtype == np.int64 and part.size == 0
+
+    def test_spill_returns_mmap_view(self, tmp_path):
+        spool = TableSpool(tmp_path, shard_rows=3)
+        array = np.arange(10, dtype=np.int64)
+        view = spool.spill("codes", array)
+        assert isinstance(view, np.memmap)
+        assert np.array_equal(np.asarray(view), array)
+        spool.drop_scratch("codes")
+        assert not spool.scratch_path("codes").exists()
+
+
+class TestMergeShardManifests:
+    @staticmethod
+    def _prop(rows, dtype="<i8", role="node_property"):
+        return {
+            "kind": "property", "role": role,
+            "rows": rows, "dtype": dtype,
+        }
+
+    @staticmethod
+    def _edge(rows, n_tail=5, n_head=5, directed=False):
+        return {
+            "kind": "edge", "rows": rows,
+            "num_tail_nodes": n_tail, "num_head_nodes": n_head,
+            "directed": directed,
+        }
+
+    def test_rows_summed_and_metadata_reconciled(self):
+        merged = merge_shard_manifests([
+            {"version": 1, "shard": 0, "tables": {
+                "T.x": self._prop(4), "e": self._edge(3),
+            }},
+            {"version": 1, "shard": 1, "tables": {
+                "T.x": self._prop(2), "e": self._edge(1),
+            }},
+        ])
+        assert merged["shards"] == 2
+        assert merged["tables"]["T.x"]["rows"] == 6
+        assert merged["tables"]["T.x"]["dtype"] == "<i8"
+        assert merged["tables"]["e"]["rows"] == 4
+        assert merged["tables"]["e"]["num_tail_nodes"] == 5
+
+    def test_single_shard_degenerate_case(self):
+        merged = merge_shard_manifests([
+            {"version": 1, "shard": 0,
+             "tables": {"T.x": self._prop(0, dtype="object")}},
+        ])
+        assert merged["shards"] == 1
+        assert merged["tables"]["T.x"]["rows"] == 0
+        assert merged["tables"]["T.x"]["dtype"] == "object"
+
+    def test_empty_shards_do_not_decide_dtype(self):
+        """dtype reconciliation: empty shards defer to non-empty ones."""
+        merged = merge_shard_manifests([
+            {"shard": 0, "tables": {"T.x": self._prop(0, "<f8")}},
+            {"shard": 1, "tables": {"T.x": self._prop(3, "object")}},
+        ])
+        assert merged["tables"]["T.x"]["dtype"] == "object"
+
+    def test_all_empty_falls_back_to_first_dtype(self):
+        merged = merge_shard_manifests([
+            {"shard": 0, "tables": {"T.x": self._prop(0, "<f8")}},
+            {"shard": 1, "tables": {"T.x": self._prop(0, "<i8")}},
+        ])
+        assert merged["tables"]["T.x"]["dtype"] == "<f8"
+
+    def test_dtype_conflict_between_nonempty_shards(self):
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            merge_shard_manifests([
+                {"shard": 0, "tables": {"T.x": self._prop(2, "<i8")}},
+                {"shard": 1, "tables": {"T.x": self._prop(2, "<f8")}},
+            ])
+
+    def test_edge_shape_conflict(self):
+        with pytest.raises(ValueError, match="num_tail_nodes differs"):
+            merge_shard_manifests([
+                {"shard": 0, "tables": {"e": self._edge(2, n_tail=5)}},
+                {"shard": 1, "tables": {"e": self._edge(2, n_tail=6)}},
+            ])
+
+    def test_kind_conflict(self):
+        with pytest.raises(ValueError, match="kind changes"):
+            merge_shard_manifests([
+                {"shard": 0, "tables": {"x": self._prop(2)}},
+                {"shard": 1, "tables": {"x": self._edge(2)}},
+            ])
+
+    def test_missing_shard_rejected(self):
+        with pytest.raises(ValueError, match="not contiguous"):
+            merge_shard_manifests([
+                {"shard": 0, "tables": {}},
+                {"shard": 2, "tables": {}},
+            ])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="no shard manifests"):
+            merge_shard_manifests([])
+
+    def test_spool_writes_mergeable_manifests(self, tmp_path):
+        """End-to-end: per-shard manifests on disk merge to the root."""
+        spool = TableSpool(tmp_path, shard_rows=4)
+        values = np.arange(6, dtype=np.float64)
+        for index, (lo, hi) in enumerate(spool.shard_bounds(6)):
+            spool.write_property_shard("T.x", index, values[lo:hi])
+        spool.write_edge_shard(
+            "e", 0,
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+        )
+        spool.finish_edge("e", 2, 2, False)
+        merged = spool.write_manifests()
+        on_disk = [
+            json.loads(
+                (spool.shard_dir(i) / "manifest.json").read_text()
+            )
+            for i in range(2)
+        ]
+        assert merge_shard_manifests(on_disk) == merged
+        root = json.loads((tmp_path / "manifest.json").read_text())
+        assert root == merged
+        assert root["tables"]["T.x"]["rows"] == 6
