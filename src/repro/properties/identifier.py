@@ -29,6 +29,7 @@ class UuidGenerator(PropertyGenerator):
 
     name = "uuid"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"time_ordered"}
@@ -54,6 +55,7 @@ class CompositeKeyGenerator(PropertyGenerator):
 
     name = "composite_key"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"prefix"}

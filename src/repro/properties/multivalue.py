@@ -180,6 +180,7 @@ class MultiValueGenerator(PropertyGenerator):
 
     name = "multi_value"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"values", "min_size", "max_size", "exponent", "method"}

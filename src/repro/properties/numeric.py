@@ -26,6 +26,7 @@ class UniformIntGenerator(PropertyGenerator):
 
     name = "uniform_int"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"low", "high"}
@@ -58,6 +59,7 @@ class UniformFloatGenerator(PropertyGenerator):
 
     name = "uniform_float"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"low", "high"}
@@ -89,6 +91,7 @@ class NormalGenerator(PropertyGenerator):
 
     name = "normal"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"mean", "std", "clip_low", "clip_high"}
@@ -127,6 +130,7 @@ class ZipfIntGenerator(PropertyGenerator):
 
     name = "zipf_int"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"exponent", "k"}
@@ -177,6 +181,7 @@ class SequenceGenerator(PropertyGenerator):
 
     name = "sequence"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"start", "step"}

@@ -39,6 +39,7 @@ class TextGenerator(PropertyGenerator):
 
     name = "text"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"vocabulary", "min_words", "max_words", "zipf_exponent"}
@@ -138,6 +139,7 @@ class TemplateGenerator(PropertyGenerator):
 
     name = "template"
     supports_out = True
+    access = "random"
 
     def parameter_names(self):
         return {"template"}

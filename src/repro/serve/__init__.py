@@ -1,0 +1,13 @@
+"""Random-access serving of virtual graphs (see docs/serving.md).
+
+``repro serve <recipe>`` answers node, property, edge, neighbourhood
+and existence queries straight from a recipe — no materialised graph —
+by exploiting the PG/SG random-access protocol
+(:attr:`~repro.properties.base.PropertyGenerator.access` /
+:attr:`~repro.structure.base.StructureGenerator.access`).
+"""
+
+from .http import create_server, serve
+from .virtual import VirtualGraph
+
+__all__ = ["VirtualGraph", "create_server", "serve"]

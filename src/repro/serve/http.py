@@ -1,0 +1,332 @@
+"""Stdlib HTTP front end for the virtual graph.
+
+A thin, dependency-free serving layer: a
+:class:`~http.server.ThreadingHTTPServer` whose handler translates
+paginated REST-ish queries into :class:`~repro.serve.virtual.
+VirtualGraph` calls and renders responses with the *export*
+formatters from :mod:`repro.io.chunks` — a CSV page served over HTTP
+is byte-identical to the corresponding line range of a ``repro
+generate`` export, which is what the serve-vs-generate equivalence
+tests and the CI smoke job diff against.
+
+Routes (all ``GET``)::
+
+    /                                    meta + access classification
+    /nodes/<Type>?offset&limit           JSON-lines node records
+    /nodes/<Type>/<id>                   one node record (JSON)
+    /properties/<Type>/<prop>?offset&limit&format=csv|jsonl
+                                         one property column page
+    /edges/<name>?offset&limit&format=csv|jsonl
+                                         edge page (id, tail, head [+ props])
+    /edges/<name>/exists?src&dst         edge-existence probe
+    /neighbors/<name>/<id>?direction&offset&limit
+                                         neighbourhood of one node
+
+Pagination contract (see docs/serving.md): ``offset >= 0``, ``1 <=
+limit <= max_limit`` (default page ``DEFAULT_LIMIT``); an offset at or
+past the end returns an **empty 200 page**, never an error; malformed
+parameters are 400 and unknown names/ids are 404, both with JSON
+error bodies ``{"error": ..., "status": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from ..io.chunks import (
+    format_edge_csv_chunk,
+    format_json_records_chunk,
+    format_property_csv_chunk,
+    id_strings,
+    json_encode_column,
+)
+
+__all__ = ["DEFAULT_LIMIT", "MAX_LIMIT", "GraphRequestHandler",
+           "create_server", "serve"]
+
+#: rows per page when the client does not say.
+DEFAULT_LIMIT = 1_000
+#: hard per-request row ceiling — keeps any one response O(page).
+MAX_LIMIT = 65_536
+
+
+class _HTTPError(Exception):
+    """Internal: carries a status + message to the JSON error body."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
+
+
+def _int_param(params, key, default, minimum=0, maximum=None):
+    raw = params.get(key, [None])[-1]
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise _HTTPError(400, f"{key!r} must be an integer, got {raw!r}")
+    if value < minimum or (maximum is not None and value > maximum):
+        hi = maximum if maximum is not None else "inf"
+        raise _HTTPError(
+            400, f"{key!r} must be in [{minimum}, {hi}], got {value}"
+        )
+    return value
+
+
+def _str_param(params, key, default, choices):
+    raw = params.get(key, [default])[-1]
+    if raw not in choices:
+        raise _HTTPError(
+            400,
+            f"{key!r} must be one of {sorted(choices)}, got {raw!r}",
+        )
+    return raw
+
+
+class GraphRequestHandler(BaseHTTPRequestHandler):
+    """Route table over one shared :class:`VirtualGraph`.
+
+    The handler is stateless; the graph hangs off the server object
+    (``server.graph``), so the threading server can answer concurrent
+    requests — every query path is either pure recomputation or a
+    read of a memory-mapped spool file.
+    """
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, status, body, content_type):
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, obj, status=200):
+        self._send(
+            status, json.dumps(obj) + "\n", "application/json"
+        )
+
+    def _send_error_json(self, status, message):
+        self._send_json({"error": message, "status": status}, status)
+
+    # -- request entry -----------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib casing
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        params = parse_qs(split.query)
+        try:
+            self._route(parts, params)
+        except _HTTPError as exc:
+            self._send_error_json(exc.status, exc.message)
+        except (KeyError, LookupError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            self._send_error_json(404, str(message))
+        except IndexError as exc:
+            self._send_error_json(404, str(exc))
+        except TypeError as exc:
+            # A sequential-only generator behind a random-access route.
+            self._send_error_json(501, str(exc))
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+
+    def _route(self, parts, params):
+        graph = self.server.graph
+        if not parts:
+            return self._send_json({
+                "service": "repro-serve",
+                "seed": graph.seed,
+                "chunk_rows": graph.chunk_rows,
+                "default_limit": self.server.default_limit,
+                "max_limit": self.server.max_limit,
+                "classification": graph.classification(),
+            })
+        head, rest = parts[0], parts[1:]
+        if head == "nodes" and len(rest) == 1:
+            return self._nodes_page(rest[0], params)
+        if head == "nodes" and len(rest) == 2:
+            return self._node_record(rest[0], rest[1])
+        if head == "properties" and len(rest) == 2:
+            return self._property_page(rest[0], rest[1], params)
+        if head == "edges" and len(rest) == 1:
+            return self._edges_page(rest[0], params)
+        if head == "edges" and len(rest) == 2 and rest[1] == "exists":
+            return self._edge_exists(rest[0], params)
+        if head == "neighbors" and len(rest) == 2:
+            return self._neighbors(rest[0], rest[1], params)
+        raise _HTTPError(404, f"no route for {self.path!r}")
+
+    # -- pagination --------------------------------------------------------
+
+    def _page(self, params, total):
+        """-> ``(lo, hi)`` clamped to ``[0, total)``.
+
+        Past-the-end offsets yield an empty page (``lo == hi``) — a
+        200, so clients can walk ``offset += limit`` until a short
+        page without special-casing the boundary.
+        """
+        offset = _int_param(params, "offset", 0)
+        limit = _int_param(
+            params, "limit", self.server.default_limit,
+            minimum=1, maximum=self.server.max_limit,
+        )
+        lo = min(offset, total)
+        return lo, min(lo + limit, total)
+
+    # -- node routes -------------------------------------------------------
+
+    def _node_columns(self, graph, type_name, ids):
+        columns = graph.node_records(type_name, ids)
+        keys = ["id"] + list(columns)
+        encoded = [list(map(str, ids.tolist()))]
+        encoded += [
+            json_encode_column(values) for values in columns.values()
+        ]
+        return keys, encoded
+
+    def _nodes_page(self, type_name, params):
+        graph = self.server.graph
+        lo, hi = self._page(params, graph.node_count(type_name))
+        ids = np.arange(lo, hi, dtype=np.int64)
+        keys, encoded = self._node_columns(graph, type_name, ids)
+        body = format_json_records_chunk(keys, encoded)
+        self._send(200, body, "application/x-ndjson")
+
+    def _node_record(self, type_name, raw_id):
+        graph = self.server.graph
+        count = graph.node_count(type_name)
+        try:
+            node_id = int(raw_id)
+        except ValueError:
+            raise _HTTPError(400, f"node id must be an integer, got {raw_id!r}")
+        if not 0 <= node_id < count:
+            raise _HTTPError(
+                404,
+                f"node id {node_id} out of range [0, {count}) for "
+                f"{type_name!r}",
+            )
+        ids = np.array([node_id], dtype=np.int64)
+        keys, encoded = self._node_columns(graph, type_name, ids)
+        body = format_json_records_chunk(keys, encoded)
+        self._send(200, body.rstrip("\n") + "\n", "application/json")
+
+    def _property_page(self, type_name, prop_name, params):
+        graph = self.server.graph
+        lo, hi = self._page(params, graph.node_count(type_name))
+        if prop_name not in graph.node_property_names(type_name):
+            raise _HTTPError(
+                404,
+                f"node type {type_name!r} has no property "
+                f"{prop_name!r}",
+            )
+        fmt = _str_param(params, "format", "csv", {"csv", "jsonl"})
+        values = graph.node_properties_of(
+            type_name, prop_name, np.arange(lo, hi, dtype=np.int64)
+        )
+        if fmt == "csv":
+            # Byte-identical to lines [lo, hi) of the generate-export
+            # CSV body for this property (header excluded).
+            body = format_property_csv_chunk(lo, values)
+            self._send(200, body, "text/csv")
+        else:
+            body = format_json_records_chunk(
+                ["id", "value"],
+                [id_strings(lo, hi), json_encode_column(values)],
+            )
+            self._send(200, body, "application/x-ndjson")
+
+    # -- edge routes -------------------------------------------------------
+
+    def _edges_page(self, name, params):
+        graph = self.server.graph
+        lo, hi = self._page(params, graph.edge_count(name))
+        fmt = _str_param(params, "format", "csv", {"csv", "jsonl"})
+        if fmt == "csv":
+            tails, heads = graph.edges_range(name, lo, hi)
+            body = format_edge_csv_chunk(lo, tails, heads)
+            self._send(200, body, "text/csv")
+            return
+        columns = graph.edge_records(name, lo, hi)
+        keys = ["id"] + list(columns)
+        encoded = [id_strings(lo, hi)] + [
+            json_encode_column(values) for values in columns.values()
+        ]
+        body = format_json_records_chunk(keys, encoded)
+        self._send(200, body, "application/x-ndjson")
+
+    def _edge_exists(self, name, params):
+        graph = self.server.graph
+        src = _int_param(params, "src", None)
+        dst = _int_param(params, "dst", None)
+        if src is None or dst is None:
+            raise _HTTPError(400, "'src' and 'dst' are required")
+        graph.edge_count(name)  # 404 on unknown edge types
+        self._send_json({
+            "edge_type": name,
+            "src": src,
+            "dst": dst,
+            "exists": graph.edge_exists(name, src, dst),
+        })
+
+    def _neighbors(self, name, raw_id, params):
+        graph = self.server.graph
+        try:
+            node_id = int(raw_id)
+        except ValueError:
+            raise _HTTPError(400, f"node id must be an integer, got {raw_id!r}")
+        direction = _str_param(
+            params, "direction", "both", {"out", "in", "both"}
+        )
+        graph.edge_count(name)  # 404 on unknown edge types
+        neighbors = graph.neighbors_of(name, node_id, direction)
+        lo, hi = self._page(params, neighbors.size)
+        self._send_json({
+            "edge_type": name,
+            "node": node_id,
+            "direction": direction,
+            "count": int(neighbors.size),
+            "offset": lo,
+            "neighbors": [int(v) for v in neighbors[lo:hi]],
+        })
+
+
+def create_server(graph, host="127.0.0.1", port=0, *,
+                  default_limit=DEFAULT_LIMIT, max_limit=MAX_LIMIT,
+                  verbose=False):
+    """Bind a :class:`ThreadingHTTPServer` over ``graph``.
+
+    ``port=0`` binds an ephemeral port (tests, smoke jobs) — read it
+    back from ``server.server_address``.  The caller owns both the
+    server (``server_close``) and the graph (``graph.close``).
+    """
+    server = ThreadingHTTPServer((host, port), GraphRequestHandler)
+    server.graph = graph
+    server.default_limit = int(default_limit)
+    server.max_limit = int(max_limit)
+    server.verbose = bool(verbose)
+    return server
+
+
+def serve(graph, host="127.0.0.1", port=8080, **kwargs):
+    """Warm the graph's edge states and serve until interrupted."""
+    graph.warm()
+    server = create_server(graph, host, port, **kwargs)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    return server

@@ -1,0 +1,617 @@
+"""The virtual graph: random-access queries straight from a recipe.
+
+A :class:`VirtualGraph` holds *no* node or edge tables.  It resolves a
+schema + scale + seed into metadata (counts, matching maps, structure
+chunk streams) and answers point and page queries by recomputing
+exactly the rows a full :meth:`~repro.core.engine.GraphGenerator.
+generate` run would have produced — byte-identical, because every
+stage it touches is a pure function of ``(seed, indices)``:
+
+* **node properties** — the PG protocol's ``properties_of`` via
+  :func:`~repro.core.tasks.property_values_at`, with intra-type
+  dependencies resolved recursively on the queried ids only;
+* **edges** — random-access structure generators re-emit any edge page
+  through :meth:`~repro.structure.base.EdgeChunkStream.emit`, then the
+  exact permutation maps the serial ``match_edge`` derives relabel the
+  page.  The maps are the documented O(nodes) term; they are spilled
+  to a disk spool and memory-mapped, so query-time allocation stays
+  O(page + chunk);
+* **edge properties** — the same PG kernel, with ``tail.x``/``head.x``
+  dependencies gathered by *recomputing* the endpoint properties at
+  the page's endpoint ids (random access again, no node table);
+* **neighbourhoods / edge-existence** — a bounded scan over the edge
+  pages (O(m) compute, O(chunk) memory).
+
+Two configurations fall back to a documented **spooled** mode, exactly
+mirroring the sharded executor's concessions: sequential structure
+generators (the table is materialised once, spilled, and paged from
+disk) and correlated (SBM-Part) matching (the final table is computed
+once at first touch, spilled, and paged from disk).  The
+:meth:`VirtualGraph.classification` report says which mode each edge
+type is in and why — that is the protocol flag surfaced to clients.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from ..core.dependency import build_task_graph
+from ..core.schema import Cardinality, SchemaError
+from ..core.tasks import (
+    match_edge,
+    property_values_at,
+    resolve_count,
+    structure_inputs,
+)
+from ..io.spool import TableSpool
+from ..prng import RandomStream, derive_seed
+from ..structure.registry import create_generator
+from ..tables import PropertyTable
+
+__all__ = ["VirtualGraph"]
+
+
+class _StructureSource:
+    """Pre-matching edges, pageable via ``emit(lo, hi)``.
+
+    Carries the same metadata surface as an
+    :class:`~repro.tables.EdgeTable` so :func:`resolve_count` and the
+    matching-map derivation can consume it directly.
+    """
+
+    def __init__(self, name, num_edges, num_tail_nodes, num_head_nodes,
+                 directed, random_access):
+        self.name = name
+        self.num_edges = int(num_edges)
+        self.num_tail_nodes = int(num_tail_nodes)
+        self.num_head_nodes = int(num_head_nodes)
+        self.directed = bool(directed)
+        self.random_access = bool(random_access)
+
+    def __len__(self):
+        return self.num_edges
+
+    @property
+    def is_bipartite(self):
+        return self.num_tail_nodes != self.num_head_nodes
+
+    @property
+    def num_nodes(self):
+        if self.is_bipartite:
+            raise ValueError(
+                f"structure {self.name!r} is bipartite; use "
+                "num_tail_nodes / num_head_nodes"
+            )
+        return self.num_tail_nodes
+
+    def emit(self, lo, hi):
+        raise NotImplementedError
+
+
+class _StreamSource(_StructureSource):
+    """Chunkable generator: pages re-derived from the seed on demand."""
+
+    def __init__(self, stream, random_access):
+        super().__init__(
+            stream.name, stream.num_edges, stream.num_tail_nodes,
+            stream.num_head_nodes, stream.directed, random_access,
+        )
+        self._stream = stream
+
+    def emit(self, lo, hi):
+        return self._stream.emit(lo, hi)
+
+    def to_edge_table(self):
+        return self._stream.to_edge_table()
+
+
+class _SpilledSource(_StructureSource):
+    """Materialised-once edges, spilled to the spool and memory-mapped."""
+
+    def __init__(self, spool, prefix, table):
+        super().__init__(
+            table.name, len(table), table.num_tail_nodes,
+            table.num_head_nodes, table.directed, random_access=False,
+        )
+        spill = spool.spiller(prefix)
+        self._tails = spill("tails", table.tails)
+        self._heads = spill("heads", table.heads)
+
+    def emit(self, lo, hi):
+        return (
+            np.asarray(self._tails[lo:hi]),
+            np.asarray(self._heads[lo:hi]),
+        )
+
+    def to_edge_table(self):
+        from ..tables import EdgeTable
+
+        return EdgeTable(
+            self.name,
+            np.asarray(self._tails),
+            np.asarray(self._heads),
+            num_tail_nodes=self.num_tail_nodes,
+            num_head_nodes=self.num_head_nodes,
+            directed=self.directed,
+        )
+
+
+class _EdgeState:
+    """Final (post-matching) edge pages for one edge type."""
+
+    def __init__(self, source, tail_map, head_map, mode, reason,
+                 directed):
+        self._source = source
+        self._tail_map = tail_map
+        self._head_map = head_map
+        self.mode = mode
+        self.reason = reason
+        self.directed = bool(directed)
+        self.num_edges = source.num_edges
+
+    def emit(self, lo, hi):
+        """Final ``(tails, heads)`` of edge ids ``[lo, hi)``."""
+        tails, heads = self._source.emit(lo, hi)
+        if self._tail_map is not None:
+            tails = np.asarray(self._tail_map[tails])
+        if self._head_map is not None:
+            heads = np.asarray(self._head_map[heads])
+        return tails, heads
+
+
+class VirtualGraph:
+    """Random-access façade over a compiled scenario (or raw schema).
+
+    Parameters
+    ----------
+    schema, scale, seed:
+        as for the engines.
+    spool_dir:
+        where matching maps and spooled fallbacks land (a temporary
+        directory by default; :meth:`close` removes it when owned).
+    chunk_rows:
+        page/scan granularity — the memory unit of every query.
+    """
+
+    def __init__(self, schema, scale, seed=0, spool_dir=None,
+                 chunk_rows=65_536):
+        self.schema = schema.validate()
+        self.scale = dict(scale)
+        self.seed = int(seed)
+        self.chunk_rows = int(chunk_rows)
+        if self.chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        self._owns_spool = spool_dir is None
+        if spool_dir is None:
+            spool_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        self._spool = TableSpool(Path(spool_dir), self.chunk_rows)
+        self._lock = threading.RLock()
+        self.node_counts = {}
+        self._sources = {}
+        self._states = {}
+        self._correlated = {}
+        try:
+            self._resolve_topology()
+        except BaseException:
+            self.close()
+            raise
+
+    @classmethod
+    def from_scenario(cls, compiled, spool_dir=None, chunk_rows=65_536):
+        """Build from a :class:`~repro.scenarios.compile.
+        CompiledScenario` (what ``repro serve <recipe>`` does)."""
+        return cls(
+            compiled.schema, compiled.scale, seed=compiled.seed,
+            spool_dir=spool_dir, chunk_rows=chunk_rows,
+        )
+
+    def close(self):
+        """Remove the spool (owned directories only)."""
+        if self._owns_spool:
+            self._spool.cleanup()
+
+    # -- topology (counts + structure metadata, no matching yet) ----------
+
+    def _resolve_topology(self):
+        order = build_task_graph(
+            self.schema, self.scale
+        ).topological_order()
+        for task in order:
+            if task.kind == "count":
+                self.node_counts[task.subject] = resolve_count(
+                    self.schema, self.scale, task, self._sources
+                )
+            elif task.kind == "structure":
+                self._sources[task.subject] = self._build_source(task)
+
+    def _build_source(self, task):
+        spec, sg_seed, n = structure_inputs(
+            self.schema, self.scale, self.seed, task, self.node_counts
+        )
+        generator = create_generator(
+            spec.name, seed=sg_seed, **spec.params
+        )
+        prefix = f"structure.{task.subject}"
+        edge = self.schema.edge_type(task.subject)
+        corr = edge.correlation
+        strict = edge.cardinality in (
+            Cardinality.ONE_TO_MANY, Cardinality.ONE_TO_ONE
+        )
+        self._correlated[task.subject] = (
+            corr is not None
+            and not strict
+            and (edge.is_monopartite or corr.head_property is not None)
+        )
+        if generator.chunkable(n):
+            stream = generator.run_chunked(
+                n, self.chunk_rows, spill=self._spool.spiller(prefix)
+            )
+            return _StreamSource(stream, generator.random_access(n))
+        # Sequential structure: the documented spooled concession —
+        # materialise once, park on disk, page from the mapping.
+        table = generator.run(n)
+        source = _SpilledSource(self._spool, prefix, table)
+        del table
+        return source
+
+    # -- matching state (lazy, thread-safe) --------------------------------
+
+    def _edge_state(self, name):
+        state = self._states.get(name)
+        if state is not None:
+            return state
+        with self._lock:
+            state = self._states.get(name)
+            if state is None:
+                state = self._build_edge_state(name)
+                self._states[name] = state
+            return state
+
+    def _build_edge_state(self, name):
+        edge = self.schema.edge_type(name)
+        source = self._sources[name]
+        tail_count = self.node_counts[edge.tail_type]
+        head_count = self.node_counts[edge.head_type]
+        if self._correlated[name]:
+            return self._build_correlated_state(
+                edge, source, tail_count, head_count
+            )
+        stream = RandomStream(derive_seed(self.seed, f"match:{name}"))
+        spill = self._spool.spiller(f"match.{name}")
+        strict = edge.cardinality in (
+            Cardinality.ONE_TO_MANY, Cardinality.ONE_TO_ONE
+        )
+        if strict:
+            if source.num_tail_nodes > tail_count:
+                raise SchemaError(
+                    f"edge {name!r}: structure has more tails than "
+                    f"{edge.tail_type!r} instances"
+                )
+            tail_map = stream.substream("tails").permutation(
+                tail_count
+            )[:source.num_tail_nodes]
+            tail_map, head_map = spill("tail_map", tail_map), None
+        elif not edge.is_monopartite:
+            tail_map = spill("tail_map", stream.substream(
+                "tails"
+            ).permutation(tail_count)[:source.num_tail_nodes])
+            head_map = spill("head_map", stream.substream(
+                "heads"
+            ).permutation(head_count)[:source.num_head_nodes])
+        else:
+            if source.num_nodes > tail_count:
+                raise SchemaError(
+                    f"edge {name!r}: structure has {source.num_nodes} "
+                    f"nodes but {edge.tail_type!r} has {tail_count} "
+                    "instances"
+                )
+            from ..core.matching import random_match
+
+            pt_ids = PropertyTable(
+                name, np.arange(tail_count, dtype=np.int64)
+            )
+            mapping = spill("node_map", random_match(
+                pt_ids, source, seed=derive_seed(self.seed, f"match:{name}")
+            ))
+            tail_map = head_map = mapping
+        if source.random_access:
+            mode, reason = "virtual", (
+                "seed-derived chunked emission relabeled through "
+                "spilled permutation maps"
+            )
+        else:
+            mode, reason = "spooled", (
+                "sequential structure generator; edges materialised "
+                "once and paged from the disk spool"
+            )
+        return _EdgeState(
+            source, tail_map, head_map, mode, reason, source.directed
+        )
+
+    def _build_correlated_state(self, edge, source, tail_count,
+                                head_count):
+        """Correlated (SBM-Part) matching — the other global stage.
+
+        Runs the exact serial matching kernel once, spills the final
+        table, and pages it from disk; byte-identical to ``generate``
+        because it *is* the serial kernel.
+        """
+        corr = edge.correlation
+        structure = source.to_edge_table()
+        tail_pt = PropertyTable(
+            f"{edge.tail_type}.{corr.tail_property}",
+            self._node_column(edge.tail_type, corr.tail_property),
+        )
+        head_pt = None
+        if corr.head_property is not None:
+            head_pt = PropertyTable(
+                f"{edge.head_type}.{corr.head_property}",
+                self._node_column(edge.head_type, corr.head_property),
+            )
+        table, _ = match_edge(
+            edge, self.seed, f"match:{edge.name}", structure,
+            tail_count, head_count, tail_pt, head_pt, prep=None,
+        )
+        del structure, tail_pt, head_pt
+        final = _SpilledSource(
+            self._spool, f"final.{edge.name}", table
+        )
+        del table
+        return _EdgeState(
+            final, None, None, "spooled",
+            "correlated matching is a global stage; the matched table "
+            "is computed once and paged from the disk spool",
+            final.directed,
+        )
+
+    def _node_column(self, type_name, prop_name):
+        """One whole node-property column (global stages only)."""
+        ids = np.arange(self.node_counts[type_name], dtype=np.int64)
+        return self.node_properties_of(type_name, prop_name, ids)
+
+    # -- node queries ------------------------------------------------------
+
+    def node_count(self, type_name):
+        if type_name not in self.node_counts:
+            raise KeyError(f"unknown node type {type_name!r}")
+        return self.node_counts[type_name]
+
+    def node_property_names(self, type_name):
+        return [
+            prop.name
+            for prop in self.schema.node_type(type_name).properties
+        ]
+
+    def _check_node_ids(self, type_name, ids):
+        count = self.node_count(type_name)
+        ids = np.ascontiguousarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= count):
+            raise IndexError(
+                f"node ids out of range [0, {count}) for "
+                f"{type_name!r}"
+            )
+        return ids
+
+    def _node_values(self, type_name, prop, ids, cache):
+        if prop.name in cache:
+            return cache[prop.name]
+        if prop.generator is None:
+            raise SchemaError(
+                f"{type_name}.{prop.name}: no property generator "
+                "declared"
+            )
+        node_type = self.schema.node_type(type_name)
+        deps = [
+            self._node_values(
+                type_name, node_type.property_named(dep), ids, cache
+            )
+            for dep in prop.depends_on
+        ]
+        values = property_values_at(
+            prop.generator, f"property:{type_name}.{prop.name}",
+            self.seed, ids, deps,
+        )
+        cache[prop.name] = values
+        return values
+
+    def node_properties_of(self, type_name, prop_name, ids):
+        """One property column at arbitrary node ids (O(page))."""
+        node_type = self.schema.node_type(type_name)
+        prop = node_type.property_named(prop_name)
+        ids = self._check_node_ids(type_name, ids)
+        return self._node_values(type_name, prop, ids, {})
+
+    def node_records(self, type_name, ids):
+        """All property columns at the given ids, in schema order."""
+        node_type = self.schema.node_type(type_name)
+        ids = self._check_node_ids(type_name, ids)
+        cache = {}
+        return {
+            prop.name: self._node_values(type_name, prop, ids, cache)
+            for prop in node_type.properties
+        }
+
+    # -- edge queries ------------------------------------------------------
+
+    def edge_count(self, name):
+        if name not in self._sources:
+            raise KeyError(f"unknown edge type {name!r}")
+        return self._sources[name].num_edges
+
+    def edge_property_names(self, name):
+        return [
+            prop.name
+            for prop in self.schema.edge_type(name).properties
+        ]
+
+    def _check_edge_range(self, name, lo, hi):
+        count = self.edge_count(name)
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo <= hi <= count:
+            raise IndexError(
+                f"edge range [{lo}, {hi}) out of bounds "
+                f"[0, {count}) for {name!r}"
+            )
+        return lo, hi
+
+    def edges_range(self, name, lo, hi):
+        """Final ``(tails, heads)`` of edge ids ``[lo, hi)``."""
+        lo, hi = self._check_edge_range(name, lo, hi)
+        return self._edge_state(name).emit(lo, hi)
+
+    def _edge_values(self, edge, prop, ids, tails, heads, cache):
+        if prop.name in cache:
+            return cache[prop.name]
+        if prop.generator is None:
+            raise SchemaError(
+                f"{edge.name}.{prop.name}: no property generator "
+                "declared"
+            )
+        deps = []
+        for dep in prop.depends_on:
+            if dep.startswith("tail."):
+                deps.append(self.node_properties_of(
+                    edge.tail_type, dep[len("tail."):], tails
+                ))
+            elif dep.startswith("head."):
+                deps.append(self.node_properties_of(
+                    edge.head_type, dep[len("head."):], heads
+                ))
+            else:
+                deps.append(self._edge_values(
+                    edge, edge.property_named(dep), ids, tails, heads,
+                    cache,
+                ))
+        values = property_values_at(
+            prop.generator, f"property:{edge.name}.{prop.name}",
+            self.seed, ids, deps,
+        )
+        cache[prop.name] = values
+        return values
+
+    def edge_properties_range(self, name, prop_name, lo, hi):
+        """One edge-property column over edge ids ``[lo, hi)``.
+
+        Endpoint dependencies (``tail.x`` / ``head.x``) are recomputed
+        at the page's endpoint ids — random access end to end.
+        """
+        edge = self.schema.edge_type(name)
+        prop = edge.property_named(prop_name)
+        lo, hi = self._check_edge_range(name, lo, hi)
+        tails, heads = self._edge_state(name).emit(lo, hi)
+        ids = np.arange(lo, hi, dtype=np.int64)
+        return self._edge_values(edge, prop, ids, tails, heads, {})
+
+    def edge_records(self, name, lo, hi):
+        """Endpoints plus every property column for a page of edges."""
+        edge = self.schema.edge_type(name)
+        lo, hi = self._check_edge_range(name, lo, hi)
+        tails, heads = self._edge_state(name).emit(lo, hi)
+        ids = np.arange(lo, hi, dtype=np.int64)
+        cache = {}
+        columns = {"tail": tails, "head": heads}
+        for prop in edge.properties:
+            columns[prop.name] = self._edge_values(
+                edge, prop, ids, tails, heads, cache
+            )
+        return columns
+
+    def neighbors_of(self, name, node_id, direction="both"):
+        """Neighbours of one (final) node id over edge type ``name``.
+
+        A bounded scan of the final edge pages in edge-id order —
+        O(m) compute, O(chunk) memory — with the same endpoint
+        convention as :meth:`repro.structure.base.StructureGenerator.
+        neighbors_of`.
+        """
+        if direction not in ("out", "in", "both"):
+            raise ValueError(
+                f"direction must be out/in/both, got {direction!r}"
+            )
+        node_id = int(node_id)
+        state = self._edge_state(name)
+        found = []
+        for lo in range(0, state.num_edges, self.chunk_rows):
+            hi = min(lo + self.chunk_rows, state.num_edges)
+            tails, heads = state.emit(lo, hi)
+            if direction in ("out", "both"):
+                found.append(heads[tails == node_id])
+            if direction in ("in", "both"):
+                mask = heads == node_id
+                if direction == "both":
+                    mask &= tails != heads
+                found.append(tails[mask])
+        if not found:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(found)
+
+    def edge_exists(self, name, src, dst):
+        """Does the final edge ``src -> dst`` exist (either orientation
+        for undirected edge types)?  Bounded scan with early exit."""
+        src, dst = int(src), int(dst)
+        state = self._edge_state(name)
+        for lo in range(0, state.num_edges, self.chunk_rows):
+            hi = min(lo + self.chunk_rows, state.num_edges)
+            tails, heads = state.emit(lo, hi)
+            hit = (tails == src) & (heads == dst)
+            if not state.directed:
+                hit |= (tails == dst) & (heads == src)
+            if hit.any():
+                return True
+        return False
+
+    # -- metadata ----------------------------------------------------------
+
+    def warm(self):
+        """Build every edge state up front (server start-up)."""
+        for name in self.schema.edge_types:
+            self._edge_state(name)
+        return self
+
+    def classification(self):
+        """Access-mode report: which tables are virtual and why."""
+        edges = {}
+        for name, edge in self.schema.edge_types.items():
+            source = self._sources[name]
+            if self._correlated[name]:
+                mode = "spooled"
+                reason = (
+                    "correlated matching is a global stage; the "
+                    "matched table is computed once and paged from "
+                    "the disk spool"
+                )
+            elif source.random_access:
+                mode = "virtual"
+                reason = (
+                    "seed-derived chunked emission relabeled through "
+                    "spilled permutation maps"
+                )
+            else:
+                mode = "spooled"
+                reason = (
+                    "sequential structure generator; edges "
+                    "materialised once and paged from the disk spool"
+                )
+            edges[name] = {
+                "count": source.num_edges,
+                "tail": edge.tail_type,
+                "head": edge.head_type,
+                "directed": source.directed,
+                "mode": mode,
+                "random_access": source.random_access
+                and not self._correlated[name],
+                "reason": reason,
+                "properties": self.edge_property_names(name),
+            }
+        nodes = {
+            name: {
+                "count": self.node_counts[name],
+                "properties": self.node_property_names(name),
+            }
+            for name in self.schema.node_types
+        }
+        return {"nodes": nodes, "edges": edges}

@@ -71,6 +71,30 @@ class EdgeChunkStream:
             )
         return self.num_tail_nodes
 
+    def emit(self, lo, hi):
+        """``(tails, heads)`` of edge ids ``[lo, hi)`` as ``int64``.
+
+        The random-access entry point: because emission is a pure
+        function of the range, any page of edges can be produced
+        without touching the rest — this is what the virtual-graph
+        serving layer pages edge tables with (see docs/serving.md).
+        """
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo <= hi <= self.num_edges:
+            raise IndexError(
+                f"chunk stream {self.name!r}: range [{lo}, {hi}) out "
+                f"of bounds [0, {self.num_edges})"
+            )
+        tails, heads = self._emit(lo, hi)
+        tails = np.ascontiguousarray(tails, dtype=np.int64)
+        heads = np.ascontiguousarray(heads, dtype=np.int64)
+        if len(tails) != hi - lo or len(heads) != hi - lo:
+            raise ValueError(
+                f"chunk stream {self.name!r}: emit({lo}, {hi}) "
+                f"returned {len(tails)}/{len(heads)} rows"
+            )
+        return tails, heads
+
     def chunks(self):
         """Yield ``(chunk_start, tails, heads)`` in edge-id order.
 
@@ -80,14 +104,7 @@ class EdgeChunkStream:
         """
         for lo in range(0, self.num_edges, self.chunk_edges):
             hi = min(lo + self.chunk_edges, self.num_edges)
-            tails, heads = self._emit(lo, hi)
-            tails = np.ascontiguousarray(tails, dtype=np.int64)
-            heads = np.ascontiguousarray(heads, dtype=np.int64)
-            if len(tails) != hi - lo or len(heads) != hi - lo:
-                raise ValueError(
-                    f"chunk stream {self.name!r}: emit({lo}, {hi}) "
-                    f"returned {len(tails)}/{len(heads)} rows"
-                )
+            tails, heads = self.emit(lo, hi)
             yield lo, tails, heads
 
     def to_edge_table(self):
@@ -131,6 +148,16 @@ class StructureGenerator:
     #: as preferential attachment or forest fire).  Whether a *given
     #: configuration* can chunk is answered by :meth:`chunkable`.
     emission = "sequential"
+
+    #: First-class access classification (see docs/serving.md):
+    #: ``"random"`` generators derive any edge page — and therefore
+    #: point queries such as :meth:`neighbors_of` / :meth:`edge_exists`
+    #: — purely from ``(seed, indices)`` via chunked emission, without
+    #: materialising the graph.  ``"sequential"`` generators can only
+    #: answer such queries from a materialised table.  Whether a
+    #: *given configuration* is random-access is answered by
+    #: :meth:`random_access`.
+    access = "sequential"
 
     def __init__(self, seed=0, **params):
         self.seed = int(seed)
@@ -198,6 +225,88 @@ class StructureGenerator:
             f"{type(self).__name__} declares emission="
             f"{self.emission!r} but does not implement chunked emission"
         )
+
+    def random_access(self, n):
+        """Can *this configuration* answer point queries from the seed?
+
+        Random access requires chunked emission (pages are re-derived,
+        never stored), so the capability is the conjunction of the
+        class-level :attr:`access` flag and :meth:`chunkable`.
+        """
+        return self.access == "random" and self.chunkable(n)
+
+    def neighbors_of(self, n, ids, chunk_edges=65_536, spill=None,
+                     direction="both"):
+        """Neighbour lists of ``ids`` in ``run(n)``, seed-derived.
+
+        Scans the chunked emission (bounded memory: one chunk of edges
+        at a time, per-stream global state parked via ``spill``) and
+        collects, in edge-id order, the opposite endpoint of every
+        incident edge.  The result agrees exactly with what a
+        materialised edge table would give:
+
+        * ``direction="out"`` — heads of edges whose tail is the node;
+        * ``direction="in"`` — tails of edges whose head is the node;
+        * ``direction="both"`` — out-matches then in-matches per chunk,
+          with self-loops contributing once.
+
+        Returns a dict ``{id: int64 array}`` covering every requested
+        id (empty arrays for isolated nodes).
+
+        Raises ``TypeError`` for configurations where
+        :meth:`random_access` is false.
+        """
+        if not self.random_access(n):
+            raise TypeError(
+                f"{type(self).__name__} ({self.name!r}) is not "
+                "random-access for this configuration; materialise "
+                "run() to query neighbourhoods"
+            )
+        if direction not in ("out", "in", "both"):
+            raise ValueError(
+                f"direction must be out/in/both, got {direction!r}"
+            )
+        ids = np.unique(np.asarray(ids, dtype=np.int64))
+        collected = {int(i): [] for i in ids.tolist()}
+        stream = self.run_chunked(n, chunk_edges, spill=spill)
+        for _, tails, heads in stream.chunks():
+            if direction in ("out", "both"):
+                for pos in np.flatnonzero(np.isin(tails, ids)).tolist():
+                    collected[int(tails[pos])].append(int(heads[pos]))
+            if direction in ("in", "both"):
+                mask = np.isin(heads, ids)
+                if direction == "both":
+                    # Self-loops already matched on the tail side.
+                    mask &= tails != heads
+                for pos in np.flatnonzero(mask).tolist():
+                    collected[int(heads[pos])].append(int(tails[pos]))
+        return {
+            node: np.asarray(neigh, dtype=np.int64)
+            for node, neigh in collected.items()
+        }
+
+    def edge_exists(self, n, src, dst, chunk_edges=65_536, spill=None):
+        """Is there an edge between ``src`` and ``dst`` in ``run(n)``?
+
+        Derived from the seed by scanning chunked emission with early
+        exit; for undirected streams both orientations count.  Raises
+        ``TypeError`` for non-random-access configurations.
+        """
+        if not self.random_access(n):
+            raise TypeError(
+                f"{type(self).__name__} ({self.name!r}) is not "
+                "random-access for this configuration; materialise "
+                "run() to query edges"
+            )
+        src, dst = int(src), int(dst)
+        stream = self.run_chunked(n, chunk_edges, spill=spill)
+        for _, tails, heads in stream.chunks():
+            hit = (tails == src) & (heads == dst)
+            if not stream.directed:
+                hit |= (tails == dst) & (heads == src)
+            if hit.any():
+                return True
+        return False
 
     def get_num_nodes(self, num_edges):
         """Number of nodes so that ``run(n)`` yields ≈ ``num_edges`` edges.

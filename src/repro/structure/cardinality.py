@@ -44,6 +44,7 @@ class OneToManyGenerator(StructureGenerator):
 
     name = "one_to_many"
     emission = "chunkable"
+    access = "random"
 
     def parameter_names(self):
         return {"degree_distribution", "degree_offset"}

@@ -105,6 +105,7 @@ class ErdosRenyi(StructureGenerator):
 
     name = "erdos_renyi"
     emission = "chunkable"
+    access = "random"
 
     def parameter_names(self):
         return {"p"}
@@ -149,6 +150,7 @@ class ErdosRenyiM(StructureGenerator):
 
     name = "erdos_renyi_m"
     emission = "chunkable"
+    access = "random"
 
     def parameter_names(self):
         return {"m", "edges_per_node"}

@@ -51,6 +51,7 @@ class RMat(StructureGenerator):
 
     name = "rmat"
     emission = "chunkable"
+    access = "random"
 
     def chunkable(self, n):
         # simplify=True deduplicates across the whole table — a global

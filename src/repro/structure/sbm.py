@@ -39,6 +39,7 @@ class StochasticBlockModel(StructureGenerator):
 
     name = "sbm"
     emission = "chunkable"
+    access = "random"
 
     def parameter_names(self):
         return {"sizes", "fractions", "probabilities"}

@@ -70,6 +70,55 @@ class TestPrngProperties:
         perm = RandomStream(seed).permutation(n)
         assert np.array_equal(np.sort(perm), np.arange(n))
 
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=2**63),
+        ids=st.lists(
+            st.integers(min_value=0, max_value=2**32), max_size=40
+        ),
+    )
+    def test_indexed_substream_seeds_matches_scalar(self, seed, ids):
+        """Batched substream seeds equal the scalar path — including
+        the empty batch, which must keep the uint64 dtype (empty
+        serving pages / shards round-trip through it)."""
+        stream = RandomStream(seed)
+        batched = stream.indexed_substream_seeds(
+            np.asarray(ids, dtype=np.int64)
+        )
+        assert batched.dtype == np.uint64
+        assert batched.shape == (len(ids),)
+        for position, index in enumerate(ids):
+            expected = stream.indexed_substream(index).seed
+            assert int(batched[position]) == expected
+
+    @common_settings
+    @given(
+        seed=st.integers(min_value=0, max_value=2**63),
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32),
+                st.integers(min_value=0, max_value=12),
+            ),
+            max_size=25,
+        ),
+    )
+    def test_uniform_ragged_matches_per_instance(self, seed, pairs):
+        """Ragged draws equal per-instance substream draws for any id
+        set — empty id lists and all-zero lengths included."""
+        ids = np.array([p[0] for p in pairs], dtype=np.int64)
+        lengths = np.array([p[1] for p in pairs], dtype=np.int64)
+        stream = RandomStream(seed, "ragged-pbt")
+        flat, offsets = stream.uniform_ragged(ids, lengths)
+        assert offsets.shape == (len(pairs) + 1,)
+        assert offsets[0] == 0 and offsets[-1] == lengths.sum()
+        assert flat.dtype == np.float64
+        for j, (index, length) in enumerate(pairs):
+            segment = flat[offsets[j]:offsets[j + 1]]
+            expected = stream.indexed_substream(index).uniform(
+                np.arange(length, dtype=np.int64)
+            )
+            assert np.array_equal(segment, expected)
+
 
 class TestDistributionProperties:
     @common_settings

@@ -1,0 +1,435 @@
+"""Serving-mode tests: VirtualGraph + HTTP front end.
+
+Three pillars (docs/serving.md):
+
+* **serve-vs-generate equivalence** — every node property column,
+  edge endpoint and edge property page served by a
+  :class:`~repro.serve.VirtualGraph` equals the materialised output
+  of the serial engine, on two zoo recipes covering all three edge
+  modes (virtual, spooled-sequential, spooled-correlated);
+* **byte-identity** — a served CSV page is the exact line range of a
+  ``generate`` export file;
+* **HTTP contract** — pagination boundaries, JSON error bodies, and
+  byte-identical responses under concurrent load.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.schema import (
+    GeneratorSpec,
+    NodeType,
+    PropertyDef,
+    Schema,
+)
+from repro.io.csv_io import write_property_table
+from repro.properties.base import PropertyGenerator
+from repro.properties.registry import register_property_generator
+from repro.scenarios import compile_scenario
+from repro.scenarios.zoo import load_zoo
+from repro.serve import VirtualGraph, create_server
+
+SCALES = {
+    "social_network": {"Person": 250},
+    "web_graph_rmat": {"Page": 256},
+}
+
+
+@pytest.fixture(scope="module", params=sorted(SCALES))
+def scenario_pair(request):
+    """(compiled, generated graph, virtual graph) per zoo recipe."""
+    compiled = compile_scenario(
+        load_zoo(request.param), scale=SCALES[request.param]
+    )
+    graph = compiled.generator().generate()
+    virtual = VirtualGraph.from_scenario(compiled, chunk_rows=512)
+    yield request.param, compiled, graph, virtual
+    virtual.close()
+
+
+class TestServeMatchesGenerate:
+    def test_node_counts_and_properties(self, scenario_pair):
+        name, compiled, graph, virtual = scenario_pair
+        for type_name, count in graph.node_counts.items():
+            assert virtual.node_count(type_name) == count
+            ids = np.arange(count, dtype=np.int64)
+            for prop in virtual.node_property_names(type_name):
+                full = graph.node_property(type_name, prop).values
+                served = virtual.node_properties_of(
+                    type_name, prop, ids
+                )
+                assert served.dtype == full.dtype
+                assert (served == full).all(), (name, type_name, prop)
+
+    def test_scattered_node_subsets(self, scenario_pair):
+        name, compiled, graph, virtual = scenario_pair
+        for type_name, count in graph.node_counts.items():
+            pos = np.array(
+                [0, count - 1, count // 2, 3 % count, count // 2],
+                dtype=np.int64,
+            )
+            for prop in virtual.node_property_names(type_name):
+                full = graph.node_property(type_name, prop).values
+                served = virtual.node_properties_of(
+                    type_name, prop, pos
+                )
+                assert (served == full[pos]).all()
+
+    def test_edges_and_edge_properties(self, scenario_pair):
+        name, compiled, graph, virtual = scenario_pair
+        for edge_name, table in graph.edge_tables.items():
+            assert virtual.edge_count(edge_name) == len(table)
+            tails, heads = virtual.edges_range(
+                edge_name, 0, len(table)
+            )
+            assert (tails == table.tails).all(), (name, edge_name)
+            assert (heads == table.heads).all(), (name, edge_name)
+            # An unaligned mid-table page (crosses chunk boundaries).
+            lo, hi = len(table) // 3 + 1, len(table) // 3 + 77
+            hi = min(hi, len(table))
+            t2, h2 = virtual.edges_range(edge_name, lo, hi)
+            assert (t2 == table.tails[lo:hi]).all()
+            assert (h2 == table.heads[lo:hi]).all()
+            for prop in virtual.edge_property_names(edge_name):
+                full = graph.edge_property(edge_name, prop).values
+                served = virtual.edge_properties_range(
+                    edge_name, prop, lo, hi
+                )
+                assert (served == full[lo:hi]).all(), (edge_name, prop)
+
+    def test_neighbors_and_existence(self, scenario_pair):
+        name, compiled, graph, virtual = scenario_pair
+        for edge_name, table in graph.edge_tables.items():
+            tails = np.asarray(table.tails)
+            heads = np.asarray(table.heads)
+            probe = int(tails[len(table) // 2])
+            for direction in ("out", "in", "both"):
+                got = np.sort(virtual.neighbors_of(
+                    edge_name, probe, direction
+                ))
+                parts = []
+                if direction in ("out", "both"):
+                    parts.append(heads[tails == probe])
+                if direction in ("in", "both"):
+                    mask = heads == probe
+                    if direction == "both":
+                        mask &= tails != heads
+                    parts.append(tails[mask])
+                expected = np.sort(np.concatenate(parts))
+                assert (got == expected).all(), (edge_name, direction)
+            k = len(table) // 2
+            assert virtual.edge_exists(
+                edge_name, int(tails[k]), int(heads[k])
+            )
+
+    def test_range_validation(self, scenario_pair):
+        name, compiled, graph, virtual = scenario_pair
+        edge_name = next(iter(graph.edge_tables))
+        count = virtual.edge_count(edge_name)
+        with pytest.raises(IndexError):
+            virtual.edges_range(edge_name, 0, count + 1)
+        with pytest.raises(IndexError):
+            virtual.edges_range(edge_name, -1, 0)
+        with pytest.raises(KeyError):
+            virtual.edge_count("nope")
+        with pytest.raises(KeyError):
+            virtual.node_count("Nope")
+        type_name = next(iter(graph.node_counts))
+        with pytest.raises(IndexError):
+            virtual.node_properties_of(
+                type_name,
+                virtual.node_property_names(type_name)[0],
+                np.array([graph.node_counts[type_name]]),
+            )
+
+
+class TestCsvByteIdentity:
+    """A served CSV page is a line range of the export file."""
+
+    def test_property_pages_reassemble_export_file(self, scenario_pair,
+                                                   tmp_path):
+        name, compiled, graph, virtual = scenario_pair
+        type_name = next(iter(graph.node_counts))
+        prop = virtual.node_property_names(type_name)[0]
+        path = tmp_path / f"{type_name}.{prop}.csv"
+        write_property_table(
+            graph.node_property(type_name, prop), path
+        )
+        exported = path.read_bytes().decode()
+        count = graph.node_counts[type_name]
+        pages = []
+        step = 61  # deliberately unaligned with chunk_rows
+        from repro.io.chunks import format_property_csv_chunk
+
+        for lo in range(0, count, step):
+            hi = min(lo + step, count)
+            values = virtual.node_properties_of(
+                type_name, prop, np.arange(lo, hi, dtype=np.int64)
+            )
+            pages.append(format_property_csv_chunk(lo, values))
+        assert "id,value\r\n" + "".join(pages) == exported
+
+
+# -- HTTP layer --------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def http_server():
+    compiled = compile_scenario(
+        load_zoo("social_network"), scale={"Person": 200}
+    )
+    graph = compiled.generator().generate()
+    virtual = VirtualGraph.from_scenario(compiled, chunk_rows=512)
+    virtual.warm()
+    server = create_server(virtual, port=0)
+    thread = threading.Thread(
+        target=server.serve_forever, daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", graph, virtual
+    server.shutdown()
+    server.server_close()
+    virtual.close()
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(base + path) as response:
+            return (
+                response.status,
+                response.read().decode(),
+                response.headers.get("Content-Type"),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode(), exc.headers.get(
+            "Content-Type"
+        )
+
+
+class TestHttpContract:
+    def test_meta_route_reports_classification(self, http_server):
+        base, graph, virtual = http_server
+        status, body, ctype = _get(base, "/")
+        assert status == 200 and ctype == "application/json"
+        meta = json.loads(body)
+        assert meta["classification"]["nodes"]["Person"]["count"] == 200
+        modes = {
+            name: entry["mode"]
+            for name, entry in meta["classification"]["edges"].items()
+        }
+        assert modes["creates"] == "virtual"  # strict one_to_many
+        assert modes["knows"] == "spooled"    # correlated matching
+
+    def test_nodes_pagination_walk(self, http_server):
+        base, graph, virtual = http_server
+        rows = []
+        offset = 0
+        while True:
+            status, body, _ = _get(
+                base, f"/nodes/Person?offset={offset}&limit=64"
+            )
+            assert status == 200
+            page = body.splitlines()
+            rows.extend(page)
+            if len(page) < 64:
+                break
+            offset += 64
+        assert len(rows) == 200
+        record = json.loads(rows[123])
+        assert record["id"] == 123
+        served = virtual.node_records(
+            "Person", np.array([123], dtype=np.int64)
+        )
+        for key, column in served.items():
+            assert record[key] == (
+                column[0].item()
+                if hasattr(column[0], "item") else column[0]
+            )
+
+    def test_pagination_boundaries(self, http_server):
+        base, graph, virtual = http_server
+        # Last partial page.
+        status, body, _ = _get(base, "/nodes/Person?offset=192&limit=64")
+        assert status == 200 and len(body.splitlines()) == 8
+        # Offset exactly at the end, and far past it: empty 200 pages.
+        for offset in (200, 100_000):
+            status, body, _ = _get(
+                base, f"/nodes/Person?offset={offset}"
+            )
+            assert (status, body) == (200, "")
+        # Malformed parameters: 400 with a JSON error body.
+        for query in ("offset=-1", "limit=0", "offset=x",
+                      f"limit={10**9}"):
+            status, body, ctype = _get(base, f"/nodes/Person?{query}")
+            assert status == 400, query
+            assert ctype == "application/json"
+            payload = json.loads(body)
+            assert payload["status"] == 400 and payload["error"]
+
+    def test_unknown_names_are_404_json(self, http_server):
+        base, graph, virtual = http_server
+        for path in ("/nodes/Nope", "/properties/Person/nope",
+                     "/edges/nope", "/neighbors/nope/0",
+                     "/bogus/route"):
+            status, body, ctype = _get(base, path)
+            assert status == 404, path
+            assert json.loads(body)["status"] == 404
+
+    def test_node_id_routes(self, http_server):
+        base, graph, virtual = http_server
+        status, body, ctype = _get(base, "/nodes/Person/7")
+        assert status == 200 and ctype == "application/json"
+        assert json.loads(body)["id"] == 7
+        status, body, _ = _get(base, "/nodes/Person/200")
+        assert status == 404
+        assert "out of range" in json.loads(body)["error"]
+        status, _, _ = _get(base, "/nodes/Person/seven")
+        assert status == 400
+
+    def test_property_csv_page_matches_export_lines(self, http_server):
+        base, graph, virtual = http_server
+        from repro.io.chunks import format_property_csv_chunk
+
+        full = graph.node_property("Person", "country").values
+        status, body, ctype = _get(
+            base, "/properties/Person/country?offset=37&limit=19"
+        )
+        assert status == 200 and ctype == "text/csv"
+        assert body == format_property_csv_chunk(37, full[37:56])
+
+    def test_edge_csv_page_matches_generate(self, http_server):
+        base, graph, virtual = http_server
+        from repro.io.chunks import format_edge_csv_chunk
+
+        table = graph.edge_tables["knows"]
+        status, body, ctype = _get(
+            base, "/edges/knows?offset=11&limit=23"
+        )
+        assert status == 200 and ctype == "text/csv"
+        assert body == format_edge_csv_chunk(
+            11, table.tails[11:34], table.heads[11:34]
+        )
+
+    def test_edge_jsonl_includes_properties(self, http_server):
+        base, graph, virtual = http_server
+        status, body, _ = _get(
+            base, "/edges/creates?offset=0&limit=2&format=jsonl"
+        )
+        assert status == 200
+        table = graph.edge_tables["creates"]
+        first = json.loads(body.splitlines()[0])
+        assert first["id"] == 0
+        assert first["tail"] == int(table.tails[0])
+        assert first["head"] == int(table.heads[0])
+
+    def test_exists_endpoint(self, http_server):
+        base, graph, virtual = http_server
+        table = graph.edge_tables["knows"]
+        src, dst = int(table.tails[3]), int(table.heads[3])
+        status, body, _ = _get(
+            base, f"/edges/knows/exists?src={src}&dst={dst}"
+        )
+        assert status == 200 and json.loads(body)["exists"] is True
+        status, body, _ = _get(base, "/edges/knows/exists?src=0")
+        assert status == 400
+
+    def test_neighbors_endpoint_paginates(self, http_server):
+        base, graph, virtual = http_server
+        table = graph.edge_tables["knows"]
+        probe = int(np.asarray(table.tails)[0])
+        status, body, _ = _get(base, f"/neighbors/knows/{probe}")
+        assert status == 200
+        payload = json.loads(body)
+        expected = virtual.neighbors_of("knows", probe, "both")
+        assert payload["count"] == expected.size
+        assert payload["neighbors"] == [int(v) for v in expected]
+        # A limit smaller than the neighbourhood pages it.
+        status, body, _ = _get(
+            base, f"/neighbors/knows/{probe}?limit=2&offset=1"
+        )
+        paged = json.loads(body)
+        assert paged["neighbors"] == [int(v) for v in expected[1:3]]
+        status, _, _ = _get(
+            base, f"/neighbors/knows/{probe}?direction=sideways"
+        )
+        assert status == 400
+
+    def test_concurrent_requests_are_byte_identical(self, http_server):
+        base, graph, virtual = http_server
+        paths = [
+            "/nodes/Person?offset=0&limit=100",
+            "/properties/Person/country?limit=150",
+            "/edges/knows?offset=0&limit=200",
+            f"/neighbors/knows/{int(graph.edge_tables['knows'].tails[0])}",
+        ]
+        results = {path: [] for path in paths}
+        errors = []
+
+        def fetch(path):
+            try:
+                results[path].append(_get(base, path))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fetch, args=(path,))
+            for path in paths for _ in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for path, got in results.items():
+            assert len(got) == 6
+            assert len(set(got)) == 1, path
+            assert got[0][0] == 200
+
+
+class TestSequentialGenerators501:
+    def test_sequential_property_maps_to_501(self, tmp_path):
+        class SequentialPG(PropertyGenerator):
+            name = "serve_test_sequential"
+            access = "sequential"
+
+            def parameter_names(self):
+                return set()
+
+            def run_many(self, ids, stream, *deps):
+                return np.zeros(len(ids), dtype=np.int64)
+
+        try:
+            register_property_generator(SequentialPG)
+        except ValueError:
+            pass  # already registered by a previous parametrisation
+        schema = Schema(node_types=[NodeType("T", properties=[
+            PropertyDef(
+                "x", "long", GeneratorSpec("serve_test_sequential", {})
+            ),
+        ])])
+        virtual = VirtualGraph(schema, {"T": 8}, seed=1,
+                               spool_dir=tmp_path / "spool")
+        server = create_server(virtual, port=0)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            status, body, _ = _get(
+                f"http://{host}:{port}", "/properties/T/x"
+            )
+            assert status == 501
+            assert "sequential" in json.loads(body)["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            virtual.close()

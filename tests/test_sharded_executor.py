@@ -220,6 +220,135 @@ class TestShardedTables:
         with pytest.raises(ValueError):
             parse_memory_budget(0)
 
+    def test_fractional_budgets_parse(self):
+        """Regression: fractional sizes in every accepted spelling.
+
+        ``".5GB"`` used to fail outright (the regex required a digit
+        before the dot) and bare fractions truncated to 0 bytes,
+        surfacing as a misleading "must be positive" error.
+        """
+        assert parse_memory_budget("1.5GB") == int(1.5 * 1024**3)
+        assert parse_memory_budget("0.5GiB") == 512 * 1024**2
+        assert parse_memory_budget(".5GB") == 512 * 1024**2
+        assert parse_memory_budget(".25 MB") == 256 * 1024
+        assert parse_memory_budget("1.5K") == 1536
+        # Fractional *byte* counts are rejected, not truncated.
+        with pytest.raises(ValueError, match="fractional byte"):
+            parse_memory_budget("0.5")
+        with pytest.raises(ValueError, match="fractional byte"):
+            parse_memory_budget("1.5B")
+
+    def test_budget_error_lists_accepted_forms(self):
+        """The parse error teaches the accepted spellings."""
+        with pytest.raises(ValueError) as exc_info:
+            parse_memory_budget("a lot")
+        message = str(exc_info.value)
+        assert "512MB" in message
+        assert "1.5GB" in message
+        assert "KiB/MiB/GiB/TiB" in message
+
+    def test_budget_boundary_forms(self):
+        assert parse_memory_budget("1b") == 1
+        assert parse_memory_budget("  2 GiB ") == 2 * 1024**3
+        assert parse_memory_budget("1t") == 1024**4
+        assert parse_memory_budget(np.int64(4096)) == 4096
+        for bad in ("", ".", "GB", "1.5.5GB", "-1MB", "1e3MB"):
+            with pytest.raises(ValueError):
+                parse_memory_budget(bad)
+
+
+class TestSpoolCleanupOnFailure:
+    """Regression: a mid-run failure must not leak the temp spool.
+
+    ``ShardedExecutor.run`` creates its own spool directory when the
+    caller does not pass ``spool_dir``; a stage raising mid-run used
+    to abandon that directory (and its shard files) in ``$TMPDIR``.
+    """
+
+    @staticmethod
+    def _failing_schema():
+        from repro.properties.base import PropertyGenerator
+        from repro.properties.registry import (
+            register_property_generator,
+        )
+
+        class ExplodingPG(PropertyGenerator):
+            name = "sharded_test_exploding"
+            access = "random"
+
+            def parameter_names(self):
+                return set()
+
+            def run_many(self, ids, stream, *deps):
+                raise RuntimeError("injected stage failure")
+
+        try:
+            register_property_generator(ExplodingPG)
+        except ValueError:
+            pass  # registered by a previous test in this session
+        return Schema(node_types=[
+            NodeType("Person", properties=[
+                PropertyDef(
+                    "age", "long",
+                    GeneratorSpec("uniform_int", {"low": 1, "high": 9}),
+                ),
+                PropertyDef(
+                    "boom", "long",
+                    GeneratorSpec("sharded_test_exploding", {}),
+                ),
+            ]),
+        ])
+
+    @staticmethod
+    def _temp_spools():
+        import tempfile
+
+        tmp = Path(tempfile.gettempdir())
+        return {p for p in tmp.glob("repro-spool-*")}
+
+    def test_owned_spool_removed_when_stage_raises(self):
+        schema = self._failing_schema()
+        before = self._temp_spools()
+        with pytest.raises(RuntimeError, match="injected"):
+            ShardedExecutor(
+                schema, {"Person": 64}, seed=3, shard_rows=16
+            ).run()
+        leaked = self._temp_spools() - before
+        assert not leaked, (
+            f"failed run leaked spool directories: {sorted(leaked)}"
+        )
+
+    def test_explicit_spool_dir_preserved_on_failure(self, tmp_path):
+        """Caller-owned directories are never deleted — they may hold
+        shards worth inspecting after the failure."""
+        schema = self._failing_schema()
+        spool_dir = tmp_path / "spool"
+        with pytest.raises(RuntimeError, match="injected"):
+            ShardedExecutor(
+                schema, {"Person": 64}, seed=3, shard_rows=16,
+                spool_dir=spool_dir,
+            ).run()
+        assert spool_dir.exists()
+
+    def test_successful_run_still_owns_and_keeps_spool(self):
+        """The happy path is unchanged: the result owns its temp spool
+        until ``cleanup()``."""
+        schema = Schema(node_types=[
+            NodeType("Person", properties=[
+                PropertyDef(
+                    "age", "long",
+                    GeneratorSpec("uniform_int", {"low": 1, "high": 9}),
+                ),
+            ]),
+        ])
+        result = ShardedExecutor(
+            schema, {"Person": 64}, seed=3, shard_rows=16
+        ).run()
+        spool_dir = Path(result.spool.directory)
+        assert spool_dir.exists()
+        result.cleanup()
+        assert not spool_dir.exists()
+
     def test_budget_mode_is_identical_to_shard_rows_mode(
         self, compiled_recipes, serial_graphs, tmp_path
     ):

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Serve-vs-generate byte-identity smoke: boot a live server over a
+zoo recipe, page every node-property and edge CSV route, and diff the
+reassembled bytes against a real ``export_graph_csv`` run of the same
+compiled scenario.
+
+This is the CI ``serve-smoke`` job's correctness half (the throughput
+half is ``benchmarks/bench_serve.py``): a server that drifts from the
+export format by a single byte — header, CRLF, value encoding, page
+stitching — exits 1 here.  Also probes the non-CSV contracts: the
+meta route's access classification, neighbourhood queries against the
+materialised edge tables, edge existence, and the empty-page rule for
+past-the-end offsets.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py --scenario social_network
+
+Stdlib + numpy only, like every other CI tool here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path) as response:
+        return response.read()
+
+
+def _paged_csv(base, route, header, page):
+    """Reassemble one CSV file from paginated responses — the client
+    loop the pagination contract promises: walk ``offset += limit``
+    until a short (or empty) page."""
+    parts = [header]
+    offset = 0
+    while True:
+        body = _get(base, f"{route}?format=csv&offset={offset}&limit={page}")
+        parts.append(body)
+        rows = body.count(b"\r\n")
+        offset += page
+        if rows < page:
+            return b"".join(parts)
+
+
+def _check(label, ok, detail=""):
+    status = "ok" if ok else "MISMATCH"
+    print(f"  [{status}] {label}" + (f" ({detail})" if detail else ""))
+    return ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scenario", default="social_network")
+    parser.add_argument("--scale", action="append", default=[],
+                        metavar="TYPE=COUNT")
+    parser.add_argument("--page", type=int, default=97,
+                        help="page size for reassembly (a non-divisor "
+                             "exercises partial final pages)")
+    args = parser.parse_args(argv)
+
+    from repro.io.csv_io import export_graph_csv
+    from repro.scenarios import compile_scenario
+    from repro.scenarios.zoo import load_zoo
+    from repro.serve import VirtualGraph, create_server
+
+    scale = {}
+    for item in args.scale:
+        key, _, value = item.partition("=")
+        scale[key] = int(value)
+
+    compiled = compile_scenario(load_zoo(args.scenario),
+                                scale=scale or None)
+    print(f"serve-smoke: scenario {args.scenario!r} "
+          f"scale={compiled.scale} seed={compiled.seed}")
+
+    # The reference: a real serial generate + CSV export.
+    graph = compiled.generator(workers=1).generate()
+    out_dir = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    written = {p.stem: p for p in export_graph_csv(graph, out_dir)
+               if p.suffix == ".csv"}
+
+    # The subject: a virtual graph served over loopback HTTP.
+    virtual = VirtualGraph.from_scenario(compiled, chunk_rows=512)
+    virtual.warm()
+    server = create_server(virtual, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    failures = 0
+    try:
+        meta = json.loads(_get(base, "/"))
+        edges = meta["classification"]["edges"]
+        print(f"  server up on {base}; edge modes: "
+              + ", ".join(f"{k}={v['mode']}" for k, v in edges.items()))
+
+        schema = compiled.schema
+        for type_name, node_type in schema.node_types.items():
+            for prop in node_type.properties:
+                stem = f"{type_name}.{prop.name}"
+                exported = written[stem].read_bytes()
+                served = _paged_csv(
+                    base, f"/properties/{type_name}/{prop.name}",
+                    b"id,value\r\n", args.page)
+                if not _check(f"property csv {stem}", served == exported,
+                              f"{len(exported)} bytes"):
+                    failures += 1
+
+        for edge_name in schema.edge_types:
+            exported = written[edge_name].read_bytes()
+            served = _paged_csv(base, f"/edges/{edge_name}",
+                                b"id,tailId,headId\r\n", args.page)
+            if not _check(f"edge csv {edge_name}", served == exported,
+                          f"{len(exported)} bytes"):
+                failures += 1
+
+            # Neighbourhood + existence against the materialised table.
+            table = graph.edges(edge_name)
+            tails = table.tails
+            heads = table.heads
+            probe = int(tails[0])
+            expected = sorted(
+                int(v) for v in
+                list(heads[tails == probe]) + (
+                    [] if table.directed
+                    else list(tails[(heads == probe) & (tails != heads)]))
+            )
+            payload = json.loads(_get(
+                base,
+                f"/neighbors/{edge_name}/{probe}"
+                f"?direction={'out' if table.directed else 'both'}"
+                f"&limit=65536"))
+            if not _check(f"neighbors {edge_name}/{probe}",
+                          sorted(payload["neighbors"]) == expected,
+                          f"{len(expected)} neighbours"):
+                failures += 1
+
+            exists = json.loads(_get(
+                base, f"/edges/{edge_name}/exists"
+                      f"?src={int(tails[0])}&dst={int(heads[0])}"))
+            if not _check(f"exists {edge_name} first edge",
+                          exists["exists"] is True):
+                failures += 1
+
+        # Pagination contract: a past-the-end offset is an empty 200.
+        some_type = next(iter(schema.node_types))
+        body = _get(base, f"/properties/{some_type}/"
+                          f"{schema.node_types[some_type].properties[0].name}"
+                          f"?format=csv&offset=10000000&limit=64")
+        if not _check("past-the-end offset is empty 200", body == b""):
+            failures += 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        virtual.close()
+
+    if failures:
+        print(f"serve-smoke: {failures} mismatch(es)", file=sys.stderr)
+        return 1
+    print("serve-smoke: all responses byte-identical to export")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
