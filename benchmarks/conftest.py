@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import json
 import platform
+import resource
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -51,6 +53,23 @@ class BenchRecorder:
 
     def __init__(self):
         self.rows = []
+        self._mark = self._clock()
+
+    @staticmethod
+    def _clock():
+        """(wall, user-CPU, sys-CPU) including worker children.
+
+        ``RUSAGE_CHILDREN`` folds in reaped worker processes, so rows
+        produced by the sharded process backend account for the CPU
+        their pool actually burned, not just the parent's share.
+        """
+        own = resource.getrusage(resource.RUSAGE_SELF)
+        kids = resource.getrusage(resource.RUSAGE_CHILDREN)
+        return (
+            time.perf_counter(),
+            own.ru_utime + kids.ru_utime,
+            own.ru_stime + kids.ru_stime,
+        )
 
     def record(self, suite, name, **fields):
         """Record one benchmark result row.
@@ -59,9 +78,20 @@ class BenchRecorder:
         second through the hot loop), ``speedup_vs_legacy`` (same
         instance through the frozen legacy implementation) and
         ``tracemalloc_peak_mb``.
+
+        Every row is additionally stamped with ``wall_s`` /
+        ``cpu_user_s`` / ``cpu_sys_s`` — deltas since the previous
+        ``record`` call (or recorder start), i.e. roughly the cost of
+        producing this row.  Explicit keyword values win over the
+        stamps.
         """
+        wall, user, sys_cpu = self._clock()
         row = {"suite": suite, "name": name}
         row.update(fields)
+        row.setdefault("wall_s", round(wall - self._mark[0], 3))
+        row.setdefault("cpu_user_s", round(user - self._mark[1], 3))
+        row.setdefault("cpu_sys_s", round(sys_cpu - self._mark[2], 3))
+        self._mark = (wall, user, sys_cpu)
         self.rows.append(row)
         return row
 

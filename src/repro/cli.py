@@ -79,6 +79,14 @@ def _add_sharding_args(cmd):
         help="out-of-core mode with the shard size derived from a "
              "memory budget, e.g. 512MB or 2G",
     )
+    cmd.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="worker backend for out-of-core mode: 'thread' shares "
+             "the GIL (low overhead, good for spool-IO-bound runs), "
+             "'process' runs shards and export formatting on a "
+             "fork-server pool for CPU-bound pipelines (output is "
+             "byte-identical either way; see docs/scaling.md)",
+    )
 
 
 def build_parser():
@@ -353,6 +361,7 @@ def _cmd_generate(args):
             shard_rows=args.shard_rows,
             memory_budget=args.memory_budget,
             workers=args.workers,
+            backend=args.backend,
         )
         # Cap export chunks at the shard size so the sink stays within
         # the memory budget (bytes are identical for any chunk size).
@@ -571,6 +580,7 @@ def _cmd_scenario_run(args, export=True):
         validate=validate,
         shard_rows=args.shard_rows,
         memory_budget=args.memory_budget,
+        backend=args.backend,
     )
     summary = graph.summary()
     if hasattr(graph, "cleanup"):

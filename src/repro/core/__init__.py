@@ -16,6 +16,7 @@ from .matching import (
 )
 from .result import PropertyGraph
 from .sharded import (
+    ShardedError,
     ShardedExecutor,
     ShardedResult,
     execute_sharded,
@@ -47,6 +48,7 @@ __all__ = [
     "SbmPartResult",
     "Schema",
     "SchemaError",
+    "ShardedError",
     "ShardedExecutor",
     "ShardedResult",
     "Task",

@@ -1,0 +1,126 @@
+"""Persistent worker pools behind the sharded executor.
+
+The sharded executor schedules every per-shard unit of work — property
+kernels, chunked structure emission + relabel, export formatting —
+through one :class:`ShardPool`.  The pool abstracts the two backends:
+
+``thread``
+    a :class:`~concurrent.futures.ThreadPoolExecutor`; cheap, shares
+    the parent's memory, but the GIL caps the numpy-light portions of
+    the kernels at roughly one core.
+
+``process``
+    a persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+    (forked where the platform allows, so runtime-registered
+    generators are inherited).  Workers receive small picklable
+    descriptors — spool paths, shard bounds, seeds — write their
+    results straight into the spool directory, and ack metadata back;
+    the spool files are the IPC channel, the result queue carries only
+    dicts.
+
+Scheduling is a *bounded in-flight window*, not lock-step waves:
+:meth:`ShardPool.ordered_map` keeps at most ``window`` jobs submitted
+ahead of the consumer and yields results in submission order, so a
+skewed shard no longer idles the other workers while peak memory stays
+at the documented ``workers x shard_rows``.
+
+A worker killed mid-shard surfaces as :class:`ShardedError`; the
+executor translates that into spool cleanup, so a crash never leaks a
+spool directory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+__all__ = ["BACKENDS", "ShardPool", "ShardedError"]
+
+BACKENDS = ("thread", "process")
+
+
+class ShardedError(RuntimeError):
+    """A sharded worker failed irrecoverably (e.g. killed mid-shard)."""
+
+
+class ShardPool:
+    """Bounded-window ordered scheduler over a thread/process pool.
+
+    The pool is created lazily on first use and persists across tasks
+    (one fork per run, not per shard).  ``workers == 1`` on the thread
+    backend short-circuits to inline execution — the reference serial
+    path every other configuration must byte-match.
+    """
+
+    def __init__(self, backend="thread", workers=1):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
+        self.workers = max(int(workers), 1)
+        self._pool = None
+
+    def _executor(self):
+        if self._pool is None:
+            if self.backend == "process":
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX
+                    ctx = multiprocessing.get_context("spawn")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx
+                )
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def ordered_map(self, fn, jobs, window=None):
+        """Yield ``fn(*args)`` per arg-tuple, in submission order.
+
+        At most ``window`` (default ``workers + 1``) jobs are in
+        flight; submission advances as the consumer drains results, so
+        shard-cost skew cannot idle workers the way lock-step waves
+        did, and the parent never holds more than a window of results.
+        """
+        jobs = iter(jobs)
+        if self.workers == 1 and self.backend == "thread":
+            for args in jobs:
+                yield fn(*args)
+            return
+        window = max(int(window if window else self.workers + 1), 1)
+        pool = self._executor()
+        pending = deque()
+        try:
+            for args in jobs:
+                pending.append(pool.submit(fn, *args))
+                if len(pending) >= window:
+                    yield self._result(pending.popleft())
+            while pending:
+                yield self._result(pending.popleft())
+        finally:
+            for future in pending:
+                future.cancel()
+
+    @staticmethod
+    def _result(future):
+        try:
+            return future.result()
+        except BrokenProcessPool as exc:
+            raise ShardedError(
+                "sharded worker process died mid-shard; the run was "
+                "aborted and its spool output discarded"
+            ) from exc
+
+    def close(self):
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

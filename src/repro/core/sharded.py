@@ -26,6 +26,18 @@ any shard size and worker count, by construction rather than by luck:
   ``begin``/``on_table``/``finish`` protocol in serial plan order, so
   every format (gzip included) produces identical bytes.
 
+Concurrency.  Every per-shard unit — property kernel, structure chunk
+emission + relabel, export-chunk formatting — goes through one
+:class:`~repro.core.procpool.ShardPool` with a bounded in-flight
+window (no lock-step waves).  ``backend="thread"`` shares memory but
+is GIL-capped; ``backend="process"`` forks a persistent worker pool
+that writes part files straight into the spool and acks metadata, the
+parent recording shards and streaming export chunks in serial plan
+order — so the output is byte-identical for any backend/worker/shard
+combination, again by construction.  A worker killed mid-shard raises
+:class:`~repro.core.procpool.ShardedError` and the owned spool is
+removed.
+
 Peak traced allocation is bounded by ``C · shard_rows`` plus the
 documented O(nodes) matching-permutation term — pinned by
 ``tests/test_sharded_memory.py`` and tracked in ``BENCH_scale.json``.
@@ -35,7 +47,6 @@ from __future__ import annotations
 
 import re
 import tempfile
-from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
@@ -46,6 +57,7 @@ from ..structure.registry import create_generator
 from ..tables import PropertyTable
 from .dependency import DependencyError, build_task_graph
 from .matching import random_match
+from .procpool import BACKENDS, ShardPool, ShardedError
 from .result import PropertyGraph
 from .schema import Cardinality, SchemaError
 from .tasks import (
@@ -59,6 +71,7 @@ from .tasks import (
 __all__ = [
     "BYTES_PER_SHARD_ROW",
     "DEFAULT_SHARD_ROWS",
+    "ShardedError",
     "ShardedExecutor",
     "ShardedResult",
     "execute_sharded",
@@ -142,6 +155,50 @@ def shard_rows_for_budget(budget_bytes):
     return max(MIN_SHARD_ROWS, int(budget_bytes) // BYTES_PER_SHARD_ROW)
 
 
+# -- per-shard jobs (module-level: picklable for the process backend) ---------
+
+
+def _dep_slice(dep, start, stop):
+    """Resolve one dependency descriptor to its shard-range slice.
+
+    Descriptors replace the closures the thread-only executor used:
+    ``("range", table)`` slices rows, ``("tail"/"head", pt, edges)``
+    gathers endpoint properties.  Spooled tables pickle as paths, so
+    the same descriptors work in worker processes.
+    """
+    kind = dep[0]
+    if kind == "range":
+        return dep[1].read_range(start, stop)
+    edges = dep[2]
+    ids = (
+        edges.tails_range(start, stop)
+        if kind == "tail" else edges.heads_range(start, stop)
+    )
+    return dep[1].gather(ids)
+
+
+def _property_shard_part(spool, key, index, spec, task_id, seed, bound,
+                         deps):
+    """One property shard: kernel to spool part file (any worker)."""
+    start, stop = bound
+    values = property_shard_values(
+        spec, task_id, seed, start, stop,
+        [_dep_slice(dep, start, stop) for dep in deps],
+    )
+    return spool.save_property_part(index, key, values)
+
+
+def _relabel_shard_part(spool, key, index, handle, lo, hi, tail_map,
+                        head_map):
+    """One edge shard: chunk emission + relabel to spool (any worker)."""
+    tails, heads = handle.read_chunk(lo, hi)
+    if tail_map is not None:
+        tails = tail_map[tails]
+    if head_map is not None:
+        heads = head_map[heads]
+    return spool.save_edge_part(index, key, tails, heads)
+
+
 # -- structure handles ---------------------------------------------------------
 
 
@@ -177,6 +234,9 @@ class _StructureHandle:
             )
         return self.num_tail_nodes
 
+    def read_chunk(self, lo, hi):
+        raise NotImplementedError
+
     def chunks(self):
         raise NotImplementedError
 
@@ -185,7 +245,11 @@ class _StructureHandle:
 
 
 class _ChunkedStructure(_StructureHandle):
-    """Chunkable generator: edges re-emitted on demand, never resident."""
+    """Chunkable generator: edges re-emitted on demand, never resident.
+
+    Picklable (the chunk streams carry counter-based streams and spill
+    views, no closures), so worker processes re-emit chunks in place.
+    """
 
     def __init__(self, stream):
         super().__init__(
@@ -193,6 +257,9 @@ class _ChunkedStructure(_StructureHandle):
             stream.num_head_nodes, stream.directed,
         )
         self._stream = stream
+
+    def read_chunk(self, lo, hi):
+        return self._stream.emit(lo, hi)
 
     def chunks(self):
         return self._stream.chunks()
@@ -214,14 +281,16 @@ class _SpooledStructure(_StructureHandle):
         self._heads = spill("heads", table.heads)
         self._chunk_edges = spool.shard_rows
 
+    def read_chunk(self, lo, hi):
+        return (
+            np.asarray(self._tails[lo:hi]),
+            np.asarray(self._heads[lo:hi]),
+        )
+
     def chunks(self):
         for lo in range(0, self.num_edges, self._chunk_edges):
             hi = min(lo + self._chunk_edges, self.num_edges)
-            yield (
-                lo,
-                np.asarray(self._tails[lo:hi]),
-                np.asarray(self._heads[lo:hi]),
-            )
+            yield (lo, *self.read_chunk(lo, hi))
 
     def load(self):
         from ..tables import EdgeTable
@@ -287,16 +356,23 @@ class ShardedExecutor:
         alternative to ``shard_rows``: bytes (int or ``"512MB"``-style
         string) divided by :data:`BYTES_PER_SHARD_ROW`.
     workers:
-        property-kernel concurrency per shard wave (thread pool); the
-        in-flight window is ``workers`` shards, so peak memory scales
-        with ``workers × shard_rows``.  Output is identical for any
-        worker count.
+        per-shard concurrency; the pool keeps a bounded in-flight
+        window of ``workers + 1`` shards, so peak memory scales with
+        ``workers × shard_rows``.  Output is identical for any worker
+        count.
+    backend:
+        ``"thread"`` (default) or ``"process"``.  Threads share the
+        parent's memory but the GIL caps kernel concurrency; the
+        process backend forks a persistent worker pool that writes
+        shard part files straight into the spool (and formats export
+        chunks), which is what actually scales past one core.
     spool_dir:
         spool location (a temporary directory by default).
     """
 
     def __init__(self, schema, scale, seed=0, shard_rows=None,
-                 memory_budget=None, workers=1, spool_dir=None):
+                 memory_budget=None, workers=1, backend="thread",
+                 spool_dir=None):
         self.schema = schema.validate()
         self.scale = dict(scale)
         self.seed = int(seed)
@@ -308,6 +384,11 @@ class ShardedExecutor:
         if self.shard_rows < 1:
             raise ValueError("shard_rows must be >= 1")
         self.workers = max(1, int(workers))
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
         self.spool_dir = spool_dir
 
     def run(self, sink=None):
@@ -327,34 +408,48 @@ class ShardedExecutor:
         spool = TableSpool(Path(spool_dir), self.shard_rows)
         result = ShardedResult(self.schema, self.seed, spool)
         structures = {}
+        pool = ShardPool(self.backend, self.workers)
+        pmap_attached = False
         try:
-            if sink is not None:
-                sink.begin(result)
-            for task in order:
-                self._apply(task, result, structures, spool)
-                export_task_output(task, sink)
-            if sink is not None:
-                sink.finish()
-            spool.write_manifests()
-        except BaseException:
-            # A stage raised mid-run: the spool holds half-written
-            # shards nobody can consume.  Remove it — unless the
-            # caller chose the directory, in which case it is theirs
-            # to inspect and clean up.
-            if owns_spool:
-                spool.cleanup()
-            raise
+            try:
+                if sink is not None:
+                    sink.begin(result)
+                    if self.backend == "process" and hasattr(sink, "pmap"):
+                        pmap_attached = True
+                        # Export formatting dominates wall time; route
+                        # the sinks' per-chunk formatting through the
+                        # same pool (results re-assembled in order, so
+                        # bytes are unchanged).
+                        sink.pmap = pool.ordered_map
+                for task in order:
+                    self._apply(task, result, structures, spool, pool)
+                    export_task_output(task, sink)
+                if sink is not None:
+                    sink.finish()
+                spool.write_manifests()
+            except BaseException:
+                # A stage raised mid-run: the spool holds half-written
+                # shards nobody can consume.  Remove it — unless the
+                # caller chose the directory, in which case it is
+                # theirs to inspect and clean up.
+                if owns_spool:
+                    spool.cleanup()
+                raise
+        finally:
+            pool.close()
+            if pmap_attached:
+                sink.pmap = None
         return result
 
     # -- task dispatch -----------------------------------------------------
 
-    def _apply(self, task, result, structures, spool):
+    def _apply(self, task, result, structures, spool, pool):
         if task.kind == "count":
             result.node_counts[task.subject] = resolve_count(
                 self.schema, self.scale, task, structures
             )
         elif task.kind == "property":
-            self._apply_node_property(task, result, spool)
+            self._apply_node_property(task, result, spool, pool)
         elif task.kind == "structure":
             self._apply_structure(task, result, structures, spool)
         elif task.kind == "match_prepare":
@@ -364,47 +459,35 @@ class ShardedExecutor:
             # when prep is None.
             pass
         elif task.kind == "match":
-            self._apply_match(task, result, structures, spool)
+            self._apply_match(task, result, structures, spool, pool)
         elif task.kind == "edge_property":
-            self._apply_edge_property(task, result, spool)
+            self._apply_edge_property(task, result, spool, pool)
         else:  # pragma: no cover - guarded by build_task_graph
             raise DependencyError(f"unknown task kind {task.kind!r}")
 
     # -- properties --------------------------------------------------------
 
-    def _run_property_shards(self, task, spec, count, shard_deps, spool,
+    def _run_property_shards(self, task, spec, count, deps, spool, pool,
                              role):
         """Generate one property table shard-by-shard into the spool.
 
-        With ``workers > 1`` shards are computed in waves of ``workers``
-        concurrent kernels and written back in shard order — the
-        kernels are pure, so scheduling cannot change the output.
+        Shards flow through the pool's bounded in-flight window:
+        workers run the range-pure kernel and save part files, the
+        parent records the acked metadata in shard order — the kernels
+        are pure, so scheduling cannot change the output.
         """
         key = task.subject
-        bounds = spool.shard_bounds(count)
+        jobs = (
+            (spool, key, index, spec, task.task_id, self.seed, bound,
+             deps)
+            for index, bound in enumerate(spool.shard_bounds(count))
+        )
+        for index, meta in enumerate(
+            pool.ordered_map(_property_shard_part, jobs)
+        ):
+            spool.record_property_shard(key, index, meta, role=role)
 
-        def kernel(bound):
-            start, stop = bound
-            return property_shard_values(
-                spec, task.task_id, self.seed, start, stop,
-                shard_deps(start, stop),
-            )
-
-        if self.workers == 1 or len(bounds) == 1:
-            for index, bound in enumerate(bounds):
-                spool.write_property_shard(
-                    key, index, kernel(bound), role=role
-                )
-            return
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            for wave_start in range(0, len(bounds), self.workers):
-                wave = bounds[wave_start:wave_start + self.workers]
-                for offset, values in enumerate(pool.map(kernel, wave)):
-                    spool.write_property_shard(
-                        key, wave_start + offset, values, role=role
-                    )
-
-    def _apply_node_property(self, task, result, spool):
+    def _apply_node_property(self, task, result, spool, pool):
         type_name, prop_name = task.subject.split(".", 1)
         prop = self.schema.node_type(type_name).property_named(prop_name)
         if prop.generator is None:
@@ -412,23 +495,19 @@ class ShardedExecutor:
                 f"{task.subject}: no property generator declared"
             )
         count = result.node_counts[type_name]
-        dep_tables = [
-            result.node_properties[f"{type_name}.{dep}"]
+        deps = [
+            ("range", result.node_properties[f"{type_name}.{dep}"])
             for dep in prop.depends_on
         ]
-
-        def shard_deps(start, stop):
-            return [t.read_range(start, stop) for t in dep_tables]
-
         self._run_property_shards(
-            task, prop.generator, count, shard_deps, spool,
+            task, prop.generator, count, deps, spool, pool,
             role="node_property",
         )
         result.node_properties[task.subject] = spool.finish_property(
             task.subject
         )
 
-    def _apply_edge_property(self, task, result, spool):
+    def _apply_edge_property(self, task, result, spool, pool):
         edge_name, prop_name = task.subject.split(".", 1)
         edge = self.schema.edge_type(edge_name)
         prop = edge.property_named(prop_name)
@@ -437,34 +516,31 @@ class ShardedExecutor:
                 f"{task.subject}: no property generator declared"
             )
         table = result.edge_tables[edge_name]
-
-        def shard_deps(start, stop):
-            deps = []
-            for dep in prop.depends_on:
-                if dep.startswith("tail."):
-                    pt = result.node_properties[
+        deps = []
+        for dep in prop.depends_on:
+            if dep.startswith("tail."):
+                deps.append((
+                    "tail",
+                    result.node_properties[
                         f"{edge.tail_type}.{dep[len('tail.'):]}"
-                    ]
-                    deps.append(
-                        pt.gather(table.tails_range(start, stop))
-                    )
-                elif dep.startswith("head."):
-                    pt = result.node_properties[
+                    ],
+                    table,
+                ))
+            elif dep.startswith("head."):
+                deps.append((
+                    "head",
+                    result.node_properties[
                         f"{edge.head_type}.{dep[len('head.'):]}"
-                    ]
-                    deps.append(
-                        pt.gather(table.heads_range(start, stop))
-                    )
-                else:
-                    deps.append(
-                        result.edge_properties[
-                            f"{edge_name}.{dep}"
-                        ].read_range(start, stop)
-                    )
-            return deps
-
+                    ],
+                    table,
+                ))
+            else:
+                deps.append((
+                    "range",
+                    result.edge_properties[f"{edge_name}.{dep}"],
+                ))
         self._run_property_shards(
-            task, prop.generator, len(table), shard_deps, spool,
+            task, prop.generator, len(table), deps, spool, pool,
             role="edge_property",
         )
         result.edge_properties[task.subject] = spool.finish_property(
@@ -495,7 +571,7 @@ class ShardedExecutor:
             )
             del table
 
-    def _apply_match(self, task, result, structures, spool):
+    def _apply_match(self, task, result, structures, spool, pool):
         edge = self.schema.edge_type(task.subject)
         handle = structures[edge.name]
         tail_count = result.node_counts[edge.tail_type]
@@ -541,11 +617,12 @@ class ShardedExecutor:
         else:
             meta = self._match_streaming(
                 task, edge, handle, tail_count, head_count, spool,
-                strict,
+                strict, pool,
             )
             match = None
             table_name = handle.name
         spool.drop_scratch(f"structure.{edge.name}")
+        spool.drop_scratch(f"match.{edge.name}")
         # relabeled() preserves the structure table's name, so the
         # spooled table carries it too — EdgeTable.__eq__ compares it.
         result.edge_tables[edge.name] = spool.finish_edge(
@@ -554,13 +631,15 @@ class ShardedExecutor:
         result.match_results[edge.name] = match
 
     def _match_streaming(self, task, edge, handle, tail_count,
-                         head_count, spool, strict):
+                         head_count, spool, strict, pool):
         """Permutation matchings applied chunk-by-chunk.
 
         Derives the exact mappings the serial ``match_edge`` builds —
         same streams, same slices — then relabels each structure chunk
         as it is re-emitted.  The mappings are the O(nodes) term of the
-        memory bound.
+        memory bound.  On the process backend the mappings are spilled
+        once and shipped to workers as paths, so relabelling runs in
+        the pool with the chunks re-emitted worker-side.
         """
         stream = RandomStream(derive_seed(self.seed, task.task_id))
         if strict:
@@ -598,12 +677,27 @@ class ShardedExecutor:
             )
             tail_map = head_map = mapping
             n_tail = n_head = len(mapping)
-        for index, (_, tails, heads) in enumerate(handle.chunks()):
-            final_tails = tail_map[tails]
-            final_heads = heads if head_map is None else head_map[heads]
-            spool.write_edge_shard(
-                edge.name, index, final_tails, final_heads
+        if self.backend == "process" and handle.num_edges:
+            # Ship the O(nodes) mappings once, as spool paths.
+            spill = spool.spiller(f"match.{edge.name}")
+            shared = head_map is tail_map
+            tail_map = spill("tail_map", tail_map)
+            if shared:
+                head_map = tail_map
+            elif head_map is not None:
+                head_map = spill("head_map", head_map)
+        jobs = (
+            (spool, edge.name, index, handle, lo,
+             min(lo + spool.shard_rows, handle.num_edges), tail_map,
+             head_map)
+            for index, lo in enumerate(
+                range(0, handle.num_edges, spool.shard_rows)
             )
+        )
+        for index, meta in enumerate(
+            pool.ordered_map(_relabel_shard_part, jobs)
+        ):
+            spool.record_edge_shard(edge.name, index, meta)
         return n_tail, n_head, handle.directed
 
 

@@ -40,7 +40,9 @@ import numpy as np
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "chunk_ranges",
+    "edge_range",
     "id_strings",
+    "property_range",
     "open_text",
     "table_stem",
     "stringify_column",
@@ -67,6 +69,28 @@ def chunk_ranges(total, chunk_size):
         raise ValueError("chunk_size must be >= 1")
     for lo in range(0, int(total), chunk_size):
         yield lo, min(lo + chunk_size, int(total))
+
+
+def property_range(table, start, stop):
+    """Value rows ``[start, stop)`` of an in-memory or spooled PT.
+
+    Spooled tables expose ``read_range``; in-memory tables slice their
+    value column.  Used by the parallel-format jobs, which receive the
+    table (picklable: spooled tables ship as spool paths) and read
+    their own chunk worker-side.
+    """
+    read = getattr(table, "read_range", None)
+    if read is not None:
+        return read(start, stop)
+    return table.values[start:stop]
+
+
+def edge_range(table, start, stop):
+    """``(tails, heads)`` rows ``[start, stop)`` of an ET, spool-aware."""
+    read = getattr(table, "read_range", None)
+    if read is not None:
+        return read(start, stop)
+    return table.tails[start:stop], table.heads[start:stop]
 
 
 # -- file handles -------------------------------------------------------------

@@ -19,6 +19,8 @@ import numpy as np
 from ..tables import EdgeTable
 from .chunks import (
     DEFAULT_CHUNK_SIZE,
+    chunk_ranges,
+    edge_range,
     format_edgelist_chunk,
     open_text,
     table_stem,
@@ -27,15 +29,35 @@ from .chunks import (
 __all__ = ["write_edgelist", "read_edgelist"]
 
 
+def _edgelist_chunk_job(table, lo, hi):
+    """Format one edge-list chunk (module-level: runs in any worker)."""
+    tails, heads = edge_range(table, lo, hi)
+    return format_edgelist_chunk(tails, heads)
+
+
 def write_edgelist(table, path, comment=None,
-                   chunk_size=DEFAULT_CHUNK_SIZE, compress=None):
-    """Write ``tail head`` lines; optional leading ``#`` comment."""
+                   chunk_size=DEFAULT_CHUNK_SIZE, compress=None,
+                   pmap=None):
+    """Write ``tail head`` lines; optional leading ``#`` comment.
+
+    ``pmap`` (an ordered parallel map) offloads per-chunk formatting
+    to workers; results are appended in chunk order, so the bytes are
+    unchanged.
+    """
     path = Path(path)
     with open_text(path, "w", compress) as handle:
         if comment:
             handle.write(f"# {comment}\n")
-        for _start, tails, heads in table.iter_chunks(chunk_size):
-            handle.write(format_edgelist_chunk(tails, heads))
+        if pmap is None:
+            for _start, tails, heads in table.iter_chunks(chunk_size):
+                handle.write(format_edgelist_chunk(tails, heads))
+        else:
+            jobs = (
+                (table, lo, hi)
+                for lo, hi in chunk_ranges(table.num_edges, chunk_size)
+            )
+            for text in pmap(_edgelist_chunk_job, jobs):
+                handle.write(text)
     return path
 
 

@@ -25,10 +25,12 @@ from ..tables import EdgeTable, PropertyTable
 from .chunks import (
     DEFAULT_CHUNK_SIZE,
     chunk_ranges,
+    edge_range,
     format_json_records_chunk,
     id_strings,
     json_encode_column,
     open_text,
+    property_range,
     table_stem,
 )
 
@@ -43,9 +45,41 @@ __all__ = [
 ]
 
 
+def _node_records_job(keys, columns, lo, hi):
+    """Format one node-record chunk (module-level: runs in any worker).
+
+    ``columns`` are value columns of the node type's PTs — spooled
+    columns pickle as spool paths and page their own ``[lo:hi]`` slice
+    worker-side.
+    """
+    encoded = [id_strings(lo, hi)] + [
+        json_encode_column(col[lo:hi]) for col in columns
+    ]
+    return format_json_records_chunk(keys, encoded)
+
+
+def _edge_records_job(keys, table, columns, lo, hi):
+    """Format one edge-record chunk (module-level: runs in any worker)."""
+    tails, heads = edge_range(table, lo, hi)
+    encoded = [
+        id_strings(lo, lo + len(tails)),
+        json_encode_column(tails),
+        json_encode_column(heads),
+    ] + [
+        json_encode_column(col[lo:lo + len(tails)]) for col in columns
+    ]
+    return format_json_records_chunk(keys, encoded)
+
+
 def write_nodes_jsonl(graph, type_name, path,
-                      chunk_size=DEFAULT_CHUNK_SIZE, compress=None):
-    """Write all instances of a node type as JSON lines."""
+                      chunk_size=DEFAULT_CHUNK_SIZE, compress=None,
+                      pmap=None):
+    """Write all instances of a node type as JSON lines.
+
+    ``pmap`` (an ordered parallel map) offloads per-chunk record
+    encoding to workers while this writer appends the results in chunk
+    order — same bytes, formatting cost off the parent.
+    """
     path = Path(path)
     prop_names = [
         p.name for p in graph.schema.node_type(type_name).properties
@@ -56,17 +90,28 @@ def write_nodes_jsonl(graph, type_name, path,
     ]
     keys = ["id"] + prop_names
     with open_text(path, "w", compress) as handle:
-        for lo, hi in chunk_ranges(graph.num_nodes(type_name),
-                                   chunk_size):
-            encoded = [id_strings(lo, hi)] + [
-                json_encode_column(col[lo:hi]) for col in columns
-            ]
-            handle.write(format_json_records_chunk(keys, encoded))
+        if pmap is None:
+            for lo, hi in chunk_ranges(graph.num_nodes(type_name),
+                                       chunk_size):
+                encoded = [id_strings(lo, hi)] + [
+                    json_encode_column(col[lo:hi]) for col in columns
+                ]
+                handle.write(format_json_records_chunk(keys, encoded))
+        else:
+            jobs = (
+                (keys, columns, lo, hi)
+                for lo, hi in chunk_ranges(
+                    graph.num_nodes(type_name), chunk_size
+                )
+            )
+            for text in pmap(_node_records_job, jobs):
+                handle.write(text)
     return path
 
 
 def write_edges_jsonl(graph, edge_name, path,
-                      chunk_size=DEFAULT_CHUNK_SIZE, compress=None):
+                      chunk_size=DEFAULT_CHUNK_SIZE, compress=None,
+                      pmap=None):
     """Write all instances of an edge type as JSON lines."""
     path = Path(path)
     table = graph.edges(edge_name)
@@ -79,16 +124,24 @@ def write_edges_jsonl(graph, edge_name, path,
     ]
     keys = ["id", "tail", "head"] + prop_names
     with open_text(path, "w", compress) as handle:
-        for lo, tails, heads in table.iter_chunks(chunk_size):
-            encoded = [
-                id_strings(lo, lo + len(tails)),
-                json_encode_column(tails),
-                json_encode_column(heads),
-            ] + [
-                json_encode_column(col[lo:lo + len(tails)])
-                for col in columns
-            ]
-            handle.write(format_json_records_chunk(keys, encoded))
+        if pmap is None:
+            for lo, tails, heads in table.iter_chunks(chunk_size):
+                encoded = [
+                    id_strings(lo, lo + len(tails)),
+                    json_encode_column(tails),
+                    json_encode_column(heads),
+                ] + [
+                    json_encode_column(col[lo:lo + len(tails)])
+                    for col in columns
+                ]
+                handle.write(format_json_records_chunk(keys, encoded))
+        else:
+            jobs = (
+                (keys, table, columns, lo, hi)
+                for lo, hi in chunk_ranges(table.num_edges, chunk_size)
+            )
+            for text in pmap(_edge_records_job, jobs):
+                handle.write(text)
     return path
 
 
@@ -104,9 +157,30 @@ def export_graph_jsonl(graph, directory, chunk_size=DEFAULT_CHUNK_SIZE,
 # -- table-oriented JSONL (null-preserving round trips) ----------------------
 
 
+def _property_table_job(table, lo, hi):
+    """Format one PT-record chunk (module-level: runs in any worker)."""
+    values = property_range(table, lo, hi)
+    encoded = [
+        id_strings(lo, lo + len(values)),
+        json_encode_column(values),
+    ]
+    return format_json_records_chunk(["id", "value"], encoded)
+
+
+def _edge_table_job(table, lo, hi):
+    """Format one ET-record chunk (module-level: runs in any worker)."""
+    tails, heads = edge_range(table, lo, hi)
+    encoded = [
+        id_strings(lo, lo + len(tails)),
+        json_encode_column(tails),
+        json_encode_column(heads),
+    ]
+    return format_json_records_chunk(["id", "tail", "head"], encoded)
+
+
 def write_property_table_jsonl(table, path,
                                chunk_size=DEFAULT_CHUNK_SIZE,
-                               compress=None):
+                               compress=None, pmap=None):
     """Write a PT as ``{"id": i, "value": v}`` lines.
 
     Unlike CSV this representation distinguishes ``None`` from ``""``
@@ -115,32 +189,48 @@ def write_property_table_jsonl(table, path,
     """
     path = Path(path)
     with open_text(path, "w", compress) as handle:
-        for start, values in table.iter_chunks(chunk_size):
-            encoded = [
-                id_strings(start, start + len(values)),
-                json_encode_column(values),
-            ]
-            handle.write(
-                format_json_records_chunk(["id", "value"], encoded)
+        if pmap is None:
+            for start, values in table.iter_chunks(chunk_size):
+                encoded = [
+                    id_strings(start, start + len(values)),
+                    json_encode_column(values),
+                ]
+                handle.write(
+                    format_json_records_chunk(["id", "value"], encoded)
+                )
+        else:
+            jobs = (
+                (table, lo, hi)
+                for lo, hi in chunk_ranges(len(table), chunk_size)
             )
+            for text in pmap(_property_table_job, jobs):
+                handle.write(text)
     return path
 
 
 def write_edge_table_jsonl(table, path, chunk_size=DEFAULT_CHUNK_SIZE,
-                           compress=None):
+                           compress=None, pmap=None):
     """Write an ET as ``{"id": i, "tail": t, "head": h}`` lines."""
     path = Path(path)
     with open_text(path, "w", compress) as handle:
-        for start, tails, heads in table.iter_chunks(chunk_size):
-            encoded = [
-                id_strings(start, start + len(tails)),
-                json_encode_column(tails),
-                json_encode_column(heads),
-            ]
-            handle.write(
-                format_json_records_chunk(["id", "tail", "head"],
-                                          encoded)
+        if pmap is None:
+            for start, tails, heads in table.iter_chunks(chunk_size):
+                encoded = [
+                    id_strings(start, start + len(tails)),
+                    json_encode_column(tails),
+                    json_encode_column(heads),
+                ]
+                handle.write(
+                    format_json_records_chunk(["id", "tail", "head"],
+                                              encoded)
+                )
+        else:
+            jobs = (
+                (table, lo, hi)
+                for lo, hi in chunk_ranges(table.num_edges, chunk_size)
             )
+            for text in pmap(_edge_table_job, jobs):
+                handle.write(text)
     return path
 
 

@@ -15,6 +15,14 @@ Each shard directory carries its own ``manifest.json``; the spool's
 root manifest is their
 :func:`~repro.io.streaming.merge_shard_manifests` merge, making the
 spool a self-describing on-disk graph fragment store.
+
+The spool is also the IPC boundary of the process backend: spools,
+spooled tables and :class:`SpillView` handles pickle as *paths* (no
+data), so worker processes can write part files straight into the
+shard directories and the parent only records the acked metadata.
+:class:`SortedRuns` adds the out-of-core primitive for the remaining
+global stages: sorted spill runs with a vectorised k-way merge
+(optionally dropping duplicates), bounded by the run size.
 """
 
 from __future__ import annotations
@@ -29,9 +37,16 @@ from .streaming import merge_shard_manifests
 
 __all__ = [
     "LazyColumn",
+    "SortedRuns",
+    "SpillView",
     "SpooledEdgeTable",
     "SpooledPropertyTable",
     "TableSpool",
+    "dedup_first_occurrence",
+    "merge_sorted_runs",
+    "spill_array",
+    "spill_create",
+    "spill_seal",
     "SHARD_MANIFEST_NAME",
 ]
 
@@ -52,6 +67,115 @@ def _load(path, dtype_kind):
     return np.load(path, allow_pickle=dtype_kind == "O")
 
 
+class SpillView:
+    """Lazy, closable, picklable view of one spilled numeric array.
+
+    The view holds only a *path*; the backing memory map opens on first
+    access and is released by :meth:`close` (the spool closes every
+    view it handed out before removing its directory, so no reader is
+    left holding an mmap of a deleted file).  Pickling ships the path,
+    never the data — which is what lets worker processes slice spilled
+    state (pair codes, degree offsets, matching maps) on demand.
+    """
+
+    __slots__ = ("path", "_mmap")
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._mmap = None
+
+    @property
+    def array(self):
+        """The memory-mapped ndarray (opened lazily)."""
+        if self._mmap is None:
+            self._mmap = np.load(self.path, mmap_mode="r")
+        return self._mmap
+
+    @property
+    def dtype(self):
+        return self.array.dtype
+
+    def __len__(self):
+        return len(self.array)
+
+    def __getitem__(self, item):
+        return self.array[item]
+
+    def __array__(self, dtype=None, copy=None):
+        values = np.asarray(self.array)
+        return values if dtype is None else values.astype(dtype)
+
+    def close(self):
+        """Release the mmap handle (reopens lazily if touched again)."""
+        view = self._mmap
+        self._mmap = None
+        if view is not None:
+            handle = getattr(view, "_mmap", None)
+            if handle is not None:
+                handle.close()
+
+    def __getstate__(self):
+        return self.path
+
+    def __setstate__(self, state):
+        self.path = state
+        self._mmap = None
+
+    def __repr__(self):
+        state = "open" if self._mmap is not None else "closed"
+        return f"SpillView({self.path!r}, {state})"
+
+
+def spill_array(view):
+    """The ndarray behind a spill result (memmap for :class:`SpillView`,
+    the array itself for in-memory spills)."""
+    if isinstance(view, SpillView):
+        return view.array
+    return np.asarray(view)
+
+
+def spill_create(spill, name, rows, dtype):
+    """A writable array of ``rows`` for incremental fills.
+
+    Disk-backed spillers hand out a writable memmap under ``name``;
+    the identity spill falls back to ``np.empty``.  Pair with
+    :func:`spill_seal` once filled.
+    """
+    create = getattr(spill, "create", None)
+    if create is None:
+        return np.empty(int(rows), dtype=dtype)
+    return create(name, rows, dtype)
+
+
+def spill_seal(spill, name, array):
+    """Seal an array from :func:`spill_create` into a read view."""
+    seal = getattr(spill, "seal", None)
+    if seal is None:
+        return array
+    return seal(name, array)
+
+
+class _Spiller:
+    """Namespaced ``spill(name, array)`` with an incremental-fill path."""
+
+    def __init__(self, spool, prefix):
+        self._spool = spool
+        self._prefix = str(prefix)
+
+    def __call__(self, name, array):
+        return self._spool.spill(f"{self._prefix}.{name}", array)
+
+    def create(self, name, rows, dtype):
+        """Writable memmap for incremental fills (external merges)."""
+        return self._spool.create_spill(
+            f"{self._prefix}.{name}", rows, dtype
+        )
+
+    def seal(self, name, array):
+        """Flush + close a created memmap; reopen as a read view."""
+        return self._spool.seal_spill(f"{self._prefix}.{name}", array)
+
+
 class TableSpool:
     """Per-shard ``.npy`` storage for the sharded executor.
 
@@ -70,6 +194,23 @@ class TableSpool:
             raise ValueError("shard_rows must be >= 1")
         #: table key -> {"kind", "role", "shards": [per-shard entry]}
         self._tables = {}
+        #: scratch path -> SpillView handed out (closed before cleanup)
+        self._views = {}
+
+    def __getstate__(self):
+        # Workers get a metadata-free clone: paths + geometry only.
+        # Table bookkeeping and view registries stay in the parent,
+        # which is the only process that records shards or cleans up.
+        return {
+            "directory": str(self.directory),
+            "shard_rows": self.shard_rows,
+        }
+
+    def __setstate__(self, state):
+        self.directory = Path(state["directory"])
+        self.shard_rows = state["shard_rows"]
+        self._tables = {}
+        self._views = {}
 
     # -- geometry ----------------------------------------------------------
 
@@ -107,19 +248,64 @@ class TableSpool:
             )
         return entry
 
-    def write_property_shard(self, key, index, values, role="property"):
-        """Persist one id-range shard of a property column."""
+    def save_property_part(self, index, key, values):
+        """Persist one shard's part *file* (any process; no metadata).
+
+        Workers call this and ack the returned metadata dict, which
+        the parent records in shard order via
+        :meth:`record_property_shard` — the spool files are the IPC
+        channel, the queue carries only this dict.
+        """
         values = np.asarray(values)
+        _save(self._part_path(index, key), values)
+        return {
+            "rows": int(values.size),
+            "dtype": _dtype_token(values.dtype),
+        }
+
+    def record_property_shard(self, key, index, meta, role="property"):
+        """Record one acked property-shard part (in shard order)."""
         entry = self._entry_list(key, "property", role=role)
         if len(entry["shards"]) != index:
             raise ValueError(
                 f"table {key!r}: shard {index} written out of order "
                 f"(expected {len(entry['shards'])})"
             )
-        _save(self._part_path(index, key), values)
         entry["shards"].append(
-            {"rows": int(values.size), "dtype": _dtype_token(values.dtype)}
+            {"rows": int(meta["rows"]), "dtype": meta["dtype"]}
         )
+
+    def write_property_shard(self, key, index, values, role="property"):
+        """Persist one id-range shard of a property column."""
+        values = np.asarray(values)
+        meta = {
+            "rows": int(values.size),
+            "dtype": _dtype_token(values.dtype),
+        }
+        self.record_property_shard(key, index, meta, role=role)
+        _save(self._part_path(index, key), values)
+
+    def save_edge_part(self, index, key, tails, heads):
+        """Persist one edge shard's part files (any process)."""
+        tails = np.ascontiguousarray(tails, dtype=np.int64)
+        heads = np.ascontiguousarray(heads, dtype=np.int64)
+        if tails.size != heads.size:
+            raise ValueError(
+                f"table {key!r}: shard {index} tails/heads differ"
+            )
+        _save(self._part_path(index, key, "tails"), tails)
+        _save(self._part_path(index, key, "heads"), heads)
+        return {"rows": int(tails.size)}
+
+    def record_edge_shard(self, key, index, meta):
+        """Record one acked edge-shard part (in shard order)."""
+        entry = self._entry_list(key, "edge")
+        if len(entry["shards"]) != index:
+            raise ValueError(
+                f"table {key!r}: shard {index} written out of order "
+                f"(expected {len(entry['shards'])})"
+            )
+        entry["shards"].append({"rows": int(meta["rows"])})
 
     def write_edge_shard(self, key, index, tails, heads):
         """Persist one id-range shard of an edge table's columns."""
@@ -129,15 +315,8 @@ class TableSpool:
             raise ValueError(
                 f"table {key!r}: shard {index} tails/heads differ"
             )
-        entry = self._entry_list(key, "edge")
-        if len(entry["shards"]) != index:
-            raise ValueError(
-                f"table {key!r}: shard {index} written out of order "
-                f"(expected {len(entry['shards'])})"
-            )
-        _save(self._part_path(index, key, "tails"), tails)
-        _save(self._part_path(index, key, "heads"), heads)
-        entry["shards"].append({"rows": int(tails.size)})
+        self.record_edge_shard(key, index, {"rows": int(tails.size)})
+        self.save_edge_part(index, key, tails, heads)
 
     def finish_property(self, key, name=None):
         """Seal a property table: a :class:`SpooledPropertyTable`."""
@@ -183,20 +362,47 @@ class TableSpool:
     def spill(self, name, array):
         """Park a whole-table array on disk; hand back a bounded view.
 
-        Numeric arrays come back memory-mapped (pages load on demand),
-        which is how genuinely-global stages — sampled pair codes,
-        degree offsets — stay out of the RSS budget.
+        Numeric arrays come back as a :class:`SpillView` (pages load
+        on demand), which is how genuinely-global stages — sampled
+        pair codes, degree offsets, matching maps — stay out of the
+        RSS budget.  Every view is registered so :meth:`cleanup` can
+        release its mmap handle before removing the directory.
         """
         array = np.asarray(array)
         path = self.scratch_path(name)
         _save(path, array)
         if array.dtype.kind == "O":
             return array  # object arrays cannot be mapped; keep as is
-        return np.load(path, mmap_mode="r")
+        return self._register_view(path)
+
+    def _register_view(self, path):
+        view = SpillView(path)
+        self._views[view.path] = view
+        return view
+
+    def create_spill(self, name, rows, dtype):
+        """A writable scratch memmap for incremental fills."""
+        path = self.scratch_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return np.lib.format.open_memmap(
+            path, mode="w+", dtype=np.dtype(dtype), shape=(int(rows),)
+        )
+
+    def seal_spill(self, name, array):
+        """Flush + close a created memmap; reopen it as a read view."""
+        path = self.scratch_path(name)
+        if isinstance(array, np.memmap):
+            array.flush()
+            handle = getattr(array, "_mmap", None)
+            if handle is not None:
+                handle.close()
+        else:
+            _save(path, np.asarray(array))
+        return self._register_view(path)
 
     def spiller(self, prefix):
         """A ``spill(name, array)`` callable namespaced by ``prefix``."""
-        return lambda name, array: self.spill(f"{prefix}.{name}", array)
+        return _Spiller(self, prefix)
 
     def drop_scratch(self, prefix):
         """Delete all scratch files under ``prefix`` (post-match)."""
@@ -204,9 +410,15 @@ class TableSpool:
         if not scratch.exists():
             return
         for path in scratch.glob(f"{prefix}.*.npy"):
+            view = self._views.pop(str(path), None)
+            if view is not None:
+                view.close()
             path.unlink()
         exact = self.scratch_path(prefix)
         if exact.exists():
+            view = self._views.pop(str(exact), None)
+            if view is not None:
+                view.close()
             exact.unlink()
 
     # -- manifests ---------------------------------------------------------
@@ -263,7 +475,19 @@ class TableSpool:
             handle.write("\n")
         return merged
 
+    def close_views(self):
+        """Release every mmap handle this spool handed out.
+
+        Readers must not hold maps of files :meth:`cleanup` is about
+        to delete; views reopen lazily if touched again while the
+        files still exist.
+        """
+        for view in self._views.values():
+            view.close()
+
     def cleanup(self):
+        self.close_views()
+        self._views = {}
         shutil.rmtree(self.directory, ignore_errors=True)
 
 
@@ -278,6 +502,13 @@ class _SpooledBase:
         # Single-slot cache stored as one tuple so concurrent readers
         # (worker waves) can never observe a torn index/payload pair.
         self._cache = None
+
+    def __getstate__(self):
+        # Drop the shard cache: it may hold a whole shard's arrays,
+        # and worker processes re-read from the spool files anyway.
+        state = dict(self.__dict__)
+        state["_cache"] = None
+        return state
 
     def __len__(self):
         return self._rows
@@ -529,3 +760,230 @@ class SpooledEdgeTable(_SpooledBase):
             num_head_nodes=self.num_head_nodes,
             directed=self.directed,
         )
+
+
+# -- external sort-merge (out-of-core dedup primitive) ----------------------
+
+
+class SortedRuns:
+    """Out-of-core sorted runs with a duplicate-dropping k-way merge.
+
+    The primitive behind every remaining global dedup stage: callers
+    :meth:`push` record blocks in any order; each full buffer is
+    sorted (lexicographically by ``(primary, secondary)``) and spilled
+    as one *run* through the ``spill`` callable — the executor's disk
+    spiller, or the identity for in-memory use.  :meth:`merge` then
+    streams the global sorted order in bounded blocks, so peak memory
+    is O(run_rows), never O(total).
+
+    ``unique`` mode drops duplicate primaries, keeping the record with
+    the smallest secondary — for ``(pair_code, edge_idx)`` records
+    that is exactly ``np.unique(keys, return_index=True)``'s
+    first-occurrence rule, which is what lets R-MAT ``simplify`` and
+    the bipartite stub dedup replicate ``EdgeTable.deduplicated()``
+    bit for bit without a resident table.
+    """
+
+    def __init__(self, spill, prefix, run_rows, unique=False):
+        self._spill = spill
+        self._prefix = str(prefix)
+        self.run_rows = max(int(run_rows), 1024)
+        self.unique = bool(unique)
+        self._runs = []          # (primary_view, secondary_view | None)
+        self._buf_primary = []
+        self._buf_secondary = []
+        self._buffered = 0
+
+    def __len__(self):
+        return len(self._runs)
+
+    def push(self, primary, secondary=None):
+        """Record a block of (primary[, secondary]) values."""
+        primary = np.asarray(primary)
+        if primary.size == 0:
+            return
+        self._buf_primary.append(primary)
+        if secondary is not None:
+            self._buf_secondary.append(np.asarray(secondary))
+        elif self._buf_secondary:
+            raise ValueError("mixed single/pair pushes")
+        self._buffered += primary.size
+        if self._buffered >= self.run_rows:
+            self.flush()
+
+    def flush(self):
+        """Sort and spill the buffered block as one run."""
+        if not self._buffered:
+            return
+        primary = np.concatenate(self._buf_primary)
+        secondary = (
+            np.concatenate(self._buf_secondary)
+            if self._buf_secondary else None
+        )
+        self._buf_primary = []
+        self._buf_secondary = []
+        self._buffered = 0
+        if secondary is None:
+            primary = (
+                np.unique(primary) if self.unique else np.sort(primary)
+            )
+        else:
+            order = np.lexsort((secondary, primary))
+            primary = primary[order]
+            secondary = secondary[order]
+            if self.unique:
+                _, first = np.unique(primary, return_index=True)
+                primary = primary[first]
+                secondary = secondary[first]
+        tag = f"{self._prefix}.run{len(self._runs)}"
+        self._runs.append((
+            self._spill(f"{tag}.primary", primary),
+            None if secondary is None
+            else self._spill(f"{tag}.secondary", secondary),
+        ))
+
+    def merge(self, block_rows=None):
+        """Yield ``(primary, secondary|None)`` blocks, globally sorted.
+
+        Re-iterable: runs live on disk (or in the identity spill), so
+        a counting pass and an emission pass can both merge.
+        """
+        self.flush()
+        return merge_sorted_runs(
+            self._runs,
+            block_rows or max(self.run_rows // max(len(self._runs), 1),
+                              1024),
+            unique=self.unique,
+        )
+
+    def total(self):
+        """Total merged rows (post-dedup when ``unique``)."""
+        return sum(block[0].size for block in self.merge())
+
+    def cleanup(self):
+        """Release the spilled runs: views closed, files unlinked.
+
+        Call once the merge output has been consumed — runs are
+        intermediate state, and eager removal keeps the dedup's disk
+        footprint bounded by one live pass."""
+        runs, self._runs = self._runs, []
+        self._buf_primary = []
+        self._buf_secondary = []
+        self._buffered = 0
+        for primary, secondary in runs:
+            for view in (primary, secondary):
+                close = getattr(view, "close", None)
+                if close is not None:
+                    close()
+                path = getattr(view, "path", None)
+                if path is not None:
+                    Path(path).unlink(missing_ok=True)
+
+
+def dedup_first_occurrence(spill, prefix, blocks, run_rows):
+    """First-occurrence dedup of packed edge codes, out of core.
+
+    ``blocks`` yields ``(codes, edge_ids)`` pairs in any chunking; the
+    result keeps, for every distinct code, the record with the smallest
+    edge id, ordered by that id — exactly
+    ``np.unique(codes, return_index=True)`` + ``first.sort()`` on the
+    concatenated input, which is the semantics of
+    ``EdgeTable.deduplicated()`` and the bipartite pair dedup.  Two
+    spilled sort-merge passes (by code, then by edge id) bound memory
+    at O(run_rows); returns ``(total, codes_view)`` with the final code
+    sequence sealed behind the spill.
+    """
+    by_code = SortedRuns(spill, f"{prefix}.bycode", run_rows, unique=True)
+    for codes, edge_ids in blocks:
+        by_code.push(codes, edge_ids)
+    by_order = SortedRuns(spill, f"{prefix}.byorder", run_rows)
+    total = 0
+    for codes, edge_ids in by_code.merge():
+        by_order.push(edge_ids, codes)
+        total += codes.size
+    by_code.cleanup()
+    final = spill_create(spill, f"{prefix}.codes", total, np.int64)
+    pos = 0
+    for _, codes in by_order.merge():
+        final[pos:pos + codes.size] = codes
+        pos += codes.size
+    by_order.cleanup()
+    return total, spill_seal(spill, f"{prefix}.codes", final)
+
+
+def merge_sorted_runs(runs, block_rows, unique=False):
+    """Vectorised k-way merge of individually sorted runs.
+
+    Loads one bounded block per run and repeatedly emits everything
+    strictly below the *cut* — the smallest last-loaded primary among
+    runs with unloaded data — so each emitted block is final: no later
+    record can sort before it, and (in ``unique`` mode) no duplicate
+    primary spans two emitted blocks.
+    """
+    block_rows = max(int(block_rows), 1)
+    state = []  # [pos, primary_view, secondary_view, buf_p, buf_s]
+    for primary, secondary in runs:
+        rows = len(primary)
+        if rows:
+            state.append([
+                0, primary, secondary,
+                np.empty(0, spill_array(primary).dtype), None,
+            ])
+
+    def load(entry, count):
+        pos, primary, secondary = entry[0], entry[1], entry[2]
+        hi = min(pos + count, len(primary))
+        entry[3] = np.concatenate([entry[3], np.asarray(primary[pos:hi])])
+        if secondary is not None:
+            piece = np.asarray(secondary[pos:hi])
+            entry[4] = (
+                piece if entry[4] is None
+                else np.concatenate([entry[4], piece])
+            )
+        entry[0] = hi
+
+    while state:
+        for entry in state:
+            if entry[3].size == 0 and entry[0] < len(entry[1]):
+                load(entry, block_rows)
+        state = [e for e in state if e[3].size]
+        if not state:
+            return
+        pending = [e for e in state if e[0] < len(e[1])]
+        if pending:
+            cut = min(e[3][-1] for e in pending)
+            counts = [
+                int(np.searchsorted(e[3], cut, side="left"))
+                for e in state
+            ]
+            if not any(counts):
+                # Everything buffered ties the cut; widen the
+                # constraining runs until the tie breaks (or they
+                # exhaust and the final flush below handles it).
+                for entry in pending:
+                    if entry[3][-1] == cut:
+                        load(entry, block_rows)
+                continue
+        else:
+            counts = [e[3].size for e in state]
+        out_p = np.concatenate([e[3][:c] for e, c in zip(state, counts)])
+        has_secondary = state[0][4] is not None
+        out_s = (
+            np.concatenate([e[4][:c] for e, c in zip(state, counts)])
+            if has_secondary else None
+        )
+        for entry, count in zip(state, counts):
+            entry[3] = entry[3][count:]
+            if has_secondary:
+                entry[4] = entry[4][count:]
+        if out_s is None:
+            out_p = np.unique(out_p) if unique else np.sort(out_p)
+        else:
+            order = np.lexsort((out_s, out_p))
+            out_p = out_p[order]
+            out_s = out_s[order]
+            if unique:
+                _, first = np.unique(out_p, return_index=True)
+                out_p = out_p[first]
+                out_s = out_s[first]
+        yield out_p, out_s

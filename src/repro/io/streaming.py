@@ -103,6 +103,12 @@ class GraphSink:
         self.written = []
         self.graph = None
         self._tables = {}
+        #: Optional ordered parallel map (``pmap(fn, jobs)`` yielding
+        #: results in submission order).  The sharded executor's
+        #: process backend attaches its worker pool here so per-chunk
+        #: text formatting — the dominant export cost — runs in the
+        #: workers while the sink appends results in plan order.
+        self.pmap = None
 
     # -- plumbing ---------------------------------------------------------
 
@@ -212,7 +218,7 @@ class CsvSink(GraphSink):
         path = self.data_path(name)
         write_property_table(
             table, path, chunk_size=self.chunk_size,
-            compress=self.compress,
+            compress=self.compress, pmap=self.pmap,
         )
         return self._record(
             name, path, self._property_entry(table, role)
@@ -225,7 +231,7 @@ class CsvSink(GraphSink):
         path = self.data_path(name)
         write_edge_table(
             table, path, chunk_size=self.chunk_size,
-            compress=self.compress,
+            compress=self.compress, pmap=self.pmap,
         )
         return self._record(name, path, self._edge_entry(table))
 
@@ -243,7 +249,7 @@ class EdgelistSink(GraphSink):
         path = self.data_path(name)
         write_edgelist(
             table, path, chunk_size=self.chunk_size,
-            compress=self.compress,
+            compress=self.compress, pmap=self.pmap,
         )
         return self._record(name, path, self._edge_entry(table))
 
@@ -283,7 +289,7 @@ class JsonlSink(GraphSink):
         path = self.data_path(name)
         write_property_table_jsonl(
             table, path, chunk_size=self.chunk_size,
-            compress=self.compress,
+            compress=self.compress, pmap=self.pmap,
         )
         return self._record(
             name, path, self._property_entry(table, role)
@@ -296,7 +302,7 @@ class JsonlSink(GraphSink):
         path = self.data_path(name)
         write_edge_table_jsonl(
             table, path, chunk_size=self.chunk_size,
-            compress=self.compress,
+            compress=self.compress, pmap=self.pmap,
         )
         return self._record(name, path, self._edge_entry(table))
 
@@ -322,6 +328,7 @@ class JsonlSink(GraphSink):
         write_nodes_jsonl(
             self.graph, type_name, path,
             chunk_size=self.chunk_size, compress=self.compress,
+            pmap=self.pmap,
         )
         properties = [
             p.name
@@ -340,6 +347,7 @@ class JsonlSink(GraphSink):
         write_edges_jsonl(
             self.graph, edge_name, path,
             chunk_size=self.chunk_size, compress=self.compress,
+            pmap=self.pmap,
         )
         properties = [
             p.name

@@ -22,7 +22,39 @@ import numpy as np
 from ..prng import RandomStream
 from ..tables import EdgeTable
 
-__all__ = ["EdgeChunkStream", "StructureGenerator", "ensure_even_sum"]
+__all__ = [
+    "EdgeChunkStream",
+    "PackedCodeEmitter",
+    "StructureGenerator",
+    "empty_emit",
+    "ensure_even_sum",
+]
+
+
+def empty_emit(lo, hi):
+    """Emitter for zero-edge streams (module-level: picklable)."""
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+
+class PackedCodeEmitter:
+    """Picklable decoder over spilled ``tail * divisor + head`` codes.
+
+    The output of an out-of-core dedup pass
+    (:func:`repro.io.spool.dedup_first_occurrence`) is a spilled
+    sequence of packed codes in final edge-id order; emission pages a
+    slice and unpacks it, so any chunk of the deduplicated table is
+    derivable without touching the rest.
+    """
+
+    def __init__(self, codes, divisor):
+        self.codes = codes
+        self.divisor = np.int64(divisor)
+
+    def __call__(self, lo, hi):
+        from ..io.spool import spill_array
+
+        codes = np.asarray(spill_array(self.codes)[lo:hi])
+        return codes // self.divisor, codes % self.divisor
 
 
 class EdgeChunkStream:

@@ -10,10 +10,55 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import StructureGenerator
+from .base import (
+    EdgeChunkStream,
+    PackedCodeEmitter,
+    StructureGenerator,
+    empty_emit,
+)
+from ..io.spool import dedup_first_occurrence, spill_array
 from ..tables import EdgeTable
 
 __all__ = ["BipartiteConfiguration"]
+
+#: Floor for spill-run sizes in the out-of-core stub dedup.
+_MIN_RUN_ROWS = 65_536
+
+
+class _StubEmitter:
+    """Picklable raw stub pairing over spilled offsets + shuffle.
+
+    Stub ``j`` pairs tail ``searchsorted(tail_offsets, j) - 1`` with
+    the head stub at shuffled position ``perm[j]``; head stubs are
+    tiled modulo their base count to reconcile the two sides, so the
+    head lookup is ``searchsorted(head_offsets, perm[j] % base) - 1``
+    — elementwise in ``j``, hence chunk-pure.
+    """
+
+    def __init__(self, tail_offsets, head_offsets, perm, head_base):
+        self.tail_offsets = tail_offsets
+        self.head_offsets = head_offsets
+        self.perm = perm
+        self.head_base = int(head_base)
+
+    def __call__(self, lo, hi):
+        stub_ids = np.arange(lo, hi, dtype=np.int64)
+        tails = (
+            np.searchsorted(
+                spill_array(self.tail_offsets), stub_ids, side="right"
+            ) - 1
+        ).astype(np.int64)
+        shuffled = np.asarray(spill_array(self.perm)[lo:hi])
+        if self.head_base == 0:
+            heads = np.zeros(shuffled.size, dtype=np.int64)
+        else:
+            heads = (
+                np.searchsorted(
+                    spill_array(self.head_offsets),
+                    shuffled % self.head_base, side="right",
+                ) - 1
+            ).astype(np.int64)
+        return tails, heads
 
 
 class BipartiteConfiguration(StructureGenerator):
@@ -36,6 +81,7 @@ class BipartiteConfiguration(StructureGenerator):
     """
 
     name = "bipartite_configuration"
+    emission = "chunkable"
 
     def parameter_names(self):
         return {
@@ -46,7 +92,9 @@ class BipartiteConfiguration(StructureGenerator):
             "head_nodes",
         }
 
-    def _generate(self, n, stream):
+    def _degree_layout(self, n, stream):
+        """Sample both degree sequences (the shared random prefix of
+        the serial and chunked paths)."""
         tail_dist = self._params.get("tail_distribution")
         head_dist = self._params.get("head_distribution")
         if tail_dist is None or head_dist is None:
@@ -69,7 +117,12 @@ class BipartiteConfiguration(StructureGenerator):
         head_deg = head_dist.sample(
             stream.substream("head"), np.arange(head_nodes, dtype=np.int64)
         ) + h_off
+        return tail_deg, total, head_nodes, head_deg
 
+    def _generate(self, n, stream):
+        tail_deg, total, head_nodes, head_deg = self._degree_layout(
+            n, stream
+        )
         tail_stubs = np.repeat(np.arange(n, dtype=np.int64), tail_deg)
         head_stubs = np.repeat(
             np.arange(head_nodes, dtype=np.int64), head_deg
@@ -99,6 +152,58 @@ class BipartiteConfiguration(StructureGenerator):
         _, first = np.unique(keys, return_index=True)
         first.sort()
         return table.subsample(first)
+
+    def _generate_chunked(self, n, stream, chunk_edges, spill):
+        """Chunked stub pairing: offsets + shuffle spilled, dedup out
+        of core.
+
+        Instead of materialising both stub arrays, the raw pairing is
+        re-derived per id-range chunk from the spilled degree-offset
+        prefix sums and the spilled stub shuffle (the O(total)
+        permutation is this generator's documented transient — drawn
+        once, parked on disk, paged thereafter), then the duplicate
+        erasure runs through spilled sorted runs exactly like the
+        serial ``np.unique`` first-occurrence pass.
+        """
+        tail_deg, total, head_nodes, head_deg = self._degree_layout(
+            n, stream
+        )
+        if total == 0:
+            return EdgeChunkStream(
+                self.name, 0, n, head_nodes, True, chunk_edges,
+                empty_emit,
+            )
+        head_base = int(head_deg.sum())
+        tail_offsets = spill("tail_offsets", np.concatenate([
+            np.zeros(1, dtype=np.int64),
+            np.cumsum(tail_deg, dtype=np.int64),
+        ]))
+        head_offsets = spill("head_offsets", np.concatenate([
+            np.zeros(1, dtype=np.int64),
+            np.cumsum(head_deg, dtype=np.int64),
+        ]))
+        perm = spill(
+            "perm", stream.substream("shuffle").permutation(total)
+        )
+        emit = _StubEmitter(tail_offsets, head_offsets, perm, head_base)
+        run_rows = max(int(chunk_edges), _MIN_RUN_ROWS)
+
+        def blocks():
+            for lo in range(0, total, run_rows):
+                hi = min(lo + run_rows, total)
+                tails, heads = emit(lo, hi)
+                yield (
+                    tails * np.int64(head_nodes) + heads,
+                    np.arange(lo, hi, dtype=np.int64),
+                )
+
+        m, codes = dedup_first_occurrence(
+            spill, "bipartite", blocks(), run_rows
+        )
+        return EdgeChunkStream(
+            self.name, m, n, head_nodes, True, chunk_edges,
+            PackedCodeEmitter(codes, head_nodes),
+        )
 
     def expected_edges_for_nodes(self, n):
         tail_dist = self._params.get("tail_distribution")

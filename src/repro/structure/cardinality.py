@@ -19,9 +19,26 @@ from __future__ import annotations
 import numpy as np
 
 from .base import EdgeChunkStream, StructureGenerator
+from ..io.spool import spill_array
 from ..tables import EdgeTable
 
 __all__ = ["OneToManyGenerator", "OneToOneGenerator"]
+
+
+class _OffsetEmitter:
+    """Picklable 1→* emitter over (possibly spilled) degree offsets."""
+
+    def __init__(self, offsets):
+        self.offsets = offsets
+
+    def __call__(self, lo, hi):
+        edge_ids = np.arange(lo, hi, dtype=np.int64)
+        tails = (
+            np.searchsorted(
+                spill_array(self.offsets), edge_ids, side="right"
+            ) - 1
+        ).astype(np.int64)
+        return tails, edge_ids
 
 
 class OneToManyGenerator(StructureGenerator):
@@ -88,15 +105,8 @@ class OneToManyGenerator(StructureGenerator):
             ]),
         )
 
-        def emit(lo, hi):
-            edge_ids = np.arange(lo, hi, dtype=np.int64)
-            tails = (
-                np.searchsorted(offsets, edge_ids, side="right") - 1
-            ).astype(np.int64)
-            return tails, edge_ids
-
         return EdgeChunkStream(
-            self.name, m, n, m, True, chunk_edges, emit
+            self.name, m, n, m, True, chunk_edges, _OffsetEmitter(offsets)
         )
 
     def expected_edges_for_nodes(self, n):

@@ -11,8 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from .base import EdgeChunkStream, StructureGenerator, edge_table_from_pairs
+from ..io.spool import SortedRuns, spill_array, spill_create, spill_seal
 
 __all__ = ["ErdosRenyi", "ErdosRenyiM"]
+
+#: Floor for spill-run sizes in the out-of-core sampler — small
+#: ``chunk_edges`` settings must not explode into thousands of runs.
+_MIN_RUN_ROWS = 65_536
 
 
 def _sample_pair_codes(n, count, stream, name):
@@ -75,23 +80,84 @@ def _sample_distinct_pairs(n, count, stream, name):
     return np.stack([v, u], axis=1)
 
 
+def _sample_pair_codes_spilled(n, count, stream, name, spill, run_rows):
+    """Out-of-core twin of :func:`_sample_pair_codes`.
+
+    Replays the exact same rounds — the draw sizes depend only on the
+    running *distinct* count, which the duplicate-dropping merge of
+    spilled sorted runs reproduces — but never holds more than one
+    ``run_rows`` block of codes resident.  The thinning step becomes a
+    second set of runs sorted by ``(random key, code)``: the uniform
+    key is an elementwise function of the code, and the serial
+    ``argsort(keys, kind="stable")`` tie-breaks by position in the
+    code-sorted array, i.e. by code — so the merged ``(key, code)``
+    order truncated at ``count`` is the serial result, bit for bit.
+    Returns a sealed spill view over the final code sequence.
+    """
+    total_pairs = n * (n - 1) // 2
+    if count > total_pairs:
+        raise ValueError(
+            f"{name}: requested {count} edges but only {total_pairs} "
+            "distinct pairs exist"
+        )
+    runs = SortedRuns(spill, "er.codes", run_rows, unique=True)
+    distinct = 0
+    round_id = 0
+    while distinct < count:
+        need = count - distinct
+        draw = int(need * 1.3) + 16
+        sub = stream.substream(f"round{round_id}")
+        for lo in range(0, draw, run_rows):
+            idx = np.arange(lo, min(lo + run_rows, draw), dtype=np.int64)
+            runs.push((sub.uniform(idx) * total_pairs).astype(np.int64))
+        distinct = runs.total()
+        round_id += 1
+    final = spill_create(spill, "codes", count, np.int64)
+    pos = 0
+    if distinct == count:
+        for codes, _ in runs.merge():
+            final[pos:pos + codes.size] = codes
+            pos += codes.size
+    elif count:
+        # Thin to a deterministic subset: ranked by a per-code key.
+        key_stream = stream.substream("thin")
+        ranked = SortedRuns(spill, "er.ranked", run_rows)
+        for codes, _ in runs.merge():
+            ranked.push(key_stream.uniform(codes), codes)
+        for _, codes in ranked.merge():
+            take = min(codes.size, count - pos)
+            final[pos:pos + take] = codes[:take]
+            pos += take
+            if pos >= count:
+                break
+        ranked.cleanup()
+    runs.cleanup()
+    return spill_seal(spill, "codes", final)
+
+
+class _CodeEmitter:
+    """Picklable decoder over the (possibly spilled) pair codes."""
+
+    def __init__(self, codes):
+        self.codes = codes
+
+    def __call__(self, lo, hi):
+        return _decode_pair_codes(np.asarray(spill_array(self.codes)[lo:hi]))
+
+
 def _pair_code_chunk_stream(name, n, m, stream, chunk_edges, spill):
     """Shared chunked-emission body of the two ER generators.
 
-    The sampled code array is the only whole-table state; it is handed
-    to ``spill`` (identity in memory, or the executor's disk spiller
-    returning a memory-mapped view), after which each chunk decodes a
-    bounded slice.
+    The sampled code array is the only whole-table state; the sampler
+    builds it through spilled sorted runs (identity spill keeps them in
+    memory), after which each chunk decodes a bounded slice.
     """
-    codes = spill(
-        "codes", _sample_pair_codes(n, m, stream.substream("pairs"), name)
+    codes = _sample_pair_codes_spilled(
+        n, m, stream.substream("pairs"), name, spill,
+        max(int(chunk_edges), _MIN_RUN_ROWS),
     )
-
-    def emit(lo, hi):
-        return _decode_pair_codes(np.asarray(codes[lo:hi]))
-
     return EdgeChunkStream(
-        name, m, n, n, False, chunk_edges, emit
+        name, m, n, n, False, chunk_edges, _CodeEmitter(codes)
     )
 
 

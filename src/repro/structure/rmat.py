@@ -15,7 +15,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import EdgeChunkStream, StructureGenerator
+from .base import (
+    EdgeChunkStream,
+    PackedCodeEmitter,
+    StructureGenerator,
+    empty_emit,
+)
+from ..io.spool import dedup_first_occurrence
 from ..tables import EdgeTable
 
 __all__ = ["RMat"]
@@ -24,6 +30,23 @@ _DEFAULT_A = 0.57
 _DEFAULT_B = 0.19
 _DEFAULT_C = 0.19
 _DEFAULT_EDGE_FACTOR = 16
+
+#: Floor for spill-run sizes in the chunked dedup: tiny ``chunk_edges``
+#: settings must not explode into thousands of run files.
+_MIN_RUN_ROWS = 65_536
+
+
+class _RawEmitter:
+    """Picklable quadrant-descent emitter for the multigraph stream."""
+
+    def __init__(self, plan, scale):
+        self.plan = plan
+        self.scale = scale
+
+    def __call__(self, lo, hi):
+        return RMat._descend(
+            self.plan, self.scale, np.arange(lo, hi, dtype=np.int64)
+        )
 
 
 class RMat(StructureGenerator):
@@ -54,9 +77,19 @@ class RMat(StructureGenerator):
     access = "random"
 
     def chunkable(self, n):
-        # simplify=True deduplicates across the whole table — a global
-        # pass — so only raw (multigraph) emission can chunk.
-        return not self._params.get("simplify", True)
+        # Raw (multigraph) emission is a pure function of the edge-id
+        # range; simplify=True adds a global deduplication pass, which
+        # the chunked path runs out of core through spilled sorted runs
+        # (see _generate_chunked) — so both configurations chunk.
+        return True
+
+    def random_access(self, n):
+        # simplify=True pages edges from the spilled dedup result, so
+        # emission is chunkable but not derivable from (seed, indices)
+        # alone — point queries need the materialised table.
+        if self._params.get("simplify", True):
+            return False
+        return super().random_access(n)
 
     def parameter_names(self):
         return {"a", "b", "c", "edge_factor", "noise", "simplify"}
@@ -153,21 +186,50 @@ class RMat(StructureGenerator):
     def _generate_chunked(self, n, stream, chunk_edges, spill):
         if n == 0:
             return EdgeChunkStream(
-                self.name, 0, 0, 0, False, chunk_edges,
-                lambda lo, hi: (np.empty(0, dtype=np.int64),) * 2,
+                self.name, 0, 0, 0, False, chunk_edges, empty_emit
             )
         scale = self._resolve_scale(n)
         edge_factor = self._params.get("edge_factor", _DEFAULT_EDGE_FACTOR)
         m = int(n * edge_factor)
         plan = self._level_plan(scale, stream)
-
-        def emit(lo, hi):
-            return self._descend(
-                plan, scale, np.arange(lo, hi, dtype=np.int64)
+        emit = _RawEmitter(plan, scale)
+        if self._params.get("simplify", True):
+            return self._simplify_chunked(
+                n, m, emit, chunk_edges, spill
             )
-
         return EdgeChunkStream(
             self.name, m, n, n, False, chunk_edges, emit
+        )
+
+    def _simplify_chunked(self, n, m, emit, chunk_edges, spill):
+        """Out-of-core twin of ``EdgeTable.deduplicated()``.
+
+        Each edge-id block is descended, canonicalised to ``(min,
+        max)`` with self loops dropped, and packed to ``lo * n + hi``
+        codes; :func:`~repro.io.spool.dedup_first_occurrence` then
+        reproduces the serial first-occurrence dedup through spilled
+        sorted runs, never holding the raw ``m``-edge multigraph.
+        """
+        run_rows = max(int(chunk_edges), _MIN_RUN_ROWS)
+
+        def blocks():
+            for lo in range(0, m, run_rows):
+                tails, heads = emit(lo, min(lo + run_rows, m))
+                pair_lo = np.minimum(tails, heads)
+                pair_hi = np.maximum(tails, heads)
+                keep = pair_lo != pair_hi
+                edge_ids = np.arange(lo, lo + tails.size, dtype=np.int64)
+                yield (
+                    pair_lo[keep] * np.int64(n) + pair_hi[keep],
+                    edge_ids[keep],
+                )
+
+        total, codes = dedup_first_occurrence(
+            spill, "rmat", blocks(), run_rows
+        )
+        return EdgeChunkStream(
+            self.name, total, n, n, False, chunk_edges,
+            PackedCodeEmitter(codes, n),
         )
 
     def expected_edges_for_nodes(self, n):

@@ -11,12 +11,55 @@ near-perfect joint).
 
 from __future__ import annotations
 
+import bisect
+
 import numpy as np
 
 from .base import EdgeChunkStream, StructureGenerator
+from ..io.spool import spill_array
 from ..tables import EdgeTable
 
 __all__ = ["StochasticBlockModel"]
+
+
+class _BlockEmitter:
+    """Picklable emitter over per-block (possibly spilled) edge codes.
+
+    Holds ``(edge-id start, r0, c0, nc, intra, codes)`` per non-empty
+    block in ``run()``'s concatenation order; emission decodes the
+    slices of each block overlapping the requested edge-id range.
+    """
+
+    def __init__(self, blocks):
+        self.blocks = blocks
+        self.starts = [b[0] for b in blocks]
+
+    def __getstate__(self):
+        return self.blocks
+
+    def __setstate__(self, blocks):
+        self.__init__(blocks)
+
+    def __call__(self, lo, hi):
+        tails_parts, heads_parts = [], []
+        pos = max(0, bisect.bisect_right(self.starts, lo) - 1)
+        for start, r0, c0, nc, intra, codes in self.blocks[pos:]:
+            if start >= hi:
+                break
+            codes = spill_array(codes)
+            stop = start + len(codes)
+            if stop <= lo:
+                continue
+            piece = np.asarray(codes[max(lo - start, 0):hi - start])
+            t, h = StochasticBlockModel._decode_block_codes(
+                piece, r0, c0, nc, intra
+            )
+            tails_parts.append(t)
+            heads_parts.append(h)
+        if not tails_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        return np.concatenate(tails_parts), np.concatenate(heads_parts)
 
 
 class StochasticBlockModel(StructureGenerator):
@@ -218,35 +261,9 @@ class StochasticBlockModel(StructureGenerator):
                         codes,
                     ))
                     total_m += chosen.size
-        starts = [b[0] for b in blocks]
-
-        def emit(lo, hi):
-            import bisect
-
-            tails_parts, heads_parts = [], []
-            pos = max(0, bisect.bisect_right(starts, lo) - 1)
-            for start, r0, c0, nc, intra, codes in blocks[pos:]:
-                if start >= hi:
-                    break
-                stop = start + len(codes)
-                if stop <= lo:
-                    continue
-                piece = np.asarray(
-                    codes[max(lo - start, 0):hi - start]
-                )
-                t, h = self._decode_block_codes(piece, r0, c0, nc, intra)
-                tails_parts.append(t)
-                heads_parts.append(h)
-            if not tails_parts:
-                empty = np.empty(0, dtype=np.int64)
-                return empty, empty.copy()
-            return (
-                np.concatenate(tails_parts),
-                np.concatenate(heads_parts),
-            )
-
         return EdgeChunkStream(
-            self.name, total_m, n, n, False, chunk_edges, emit
+            self.name, total_m, n, n, False, chunk_edges,
+            _BlockEmitter(blocks),
         )
 
     def expected_edges_for_nodes(self, n):

@@ -1,0 +1,183 @@
+"""Out-of-core sort-merge dedup: primitives and chunked equivalence.
+
+``repro.io.spool.SortedRuns`` / ``dedup_first_occurrence`` are the
+machinery that lets the globally-deduplicating structure stages (R-MAT
+``simplify``, bipartite stub dedup, G(n, m) sampling) run in bounded
+memory.  The contract is exact: unique-mode merges must reproduce
+``np.unique``'s first-occurrence rule bit for bit, and every chunked
+generator must emit the same edge table its serial twin materialises —
+for any run size, including degenerate multi-run splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.structure.bipartite as bipartite_mod
+import repro.structure.erdos_renyi as er_mod
+import repro.structure.rmat as rmat_mod
+from repro.io.spool import (
+    SortedRuns,
+    TableSpool,
+    dedup_first_occurrence,
+    spill_array,
+)
+from repro.stats import Zipf
+from repro.structure import BipartiteConfiguration, ErdosRenyiM, RMat
+
+#: Tiny run size (SortedRuns clamps to 1024) so a few thousand rows
+#: split into several spilled runs and the k-way merge actually merges.
+_SMALL_RUNS = 1024
+
+
+@pytest.fixture
+def spill(tmp_path):
+    spool = TableSpool(tmp_path / "spool", 1024)
+    yield spool.spiller("test")
+    spool.cleanup()
+
+
+class TestSortedRuns:
+    def test_multi_run_merge_is_globally_sorted(self, spill):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 10_000, size=5_000)
+        runs = SortedRuns(spill, "s", _SMALL_RUNS)
+        for block in np.array_split(values, 7):
+            runs.push(block)
+        assert len(runs) >= 3  # genuinely multi-run
+        merged = np.concatenate([p for p, _ in runs.merge()])
+        np.testing.assert_array_equal(merged, np.sort(values))
+        # Re-iterable: a second merge pass sees the same stream.
+        again = np.concatenate([p for p, _ in runs.merge()])
+        np.testing.assert_array_equal(again, merged)
+        runs.cleanup()
+
+    def test_unique_keeps_smallest_secondary(self, spill):
+        rng = np.random.default_rng(1)
+        primary = rng.integers(0, 500, size=4_000)
+        secondary = np.arange(4_000, dtype=np.int64)
+        runs = SortedRuns(spill, "u", _SMALL_RUNS, unique=True)
+        for lo in range(0, 4_000, 611):
+            runs.push(primary[lo:lo + 611], secondary[lo:lo + 611])
+        got_p = []
+        got_s = []
+        for p, s in runs.merge():
+            got_p.append(p)
+            got_s.append(s)
+        got_p = np.concatenate(got_p)
+        got_s = np.concatenate(got_s)
+        expect_p, first = np.unique(primary, return_index=True)
+        np.testing.assert_array_equal(got_p, expect_p)
+        np.testing.assert_array_equal(got_s, secondary[first])
+        runs.cleanup()
+
+    def test_cleanup_unlinks_spilled_runs(self, tmp_path):
+        spool = TableSpool(tmp_path / "spool", 1024)
+        spill = spool.spiller("scratch")
+        runs = SortedRuns(spill, "c", _SMALL_RUNS)
+        runs.push(np.arange(5_000, dtype=np.int64))
+        runs.flush()
+        spilled = [
+            p for p in (tmp_path / "spool").rglob("*.npy")
+            if ".run" in p.name
+        ]
+        assert spilled
+        runs.cleanup()
+        assert not [
+            p for p in (tmp_path / "spool").rglob("*.npy")
+            if ".run" in p.name
+        ]
+        assert runs.total() == 0  # buffers reset, not replayed
+        spool.cleanup()
+
+
+class TestDedupFirstOccurrence:
+    @pytest.mark.parametrize("size,universe", [
+        (5_000, 700),     # heavy duplication across runs
+        (3_000, 10**9),   # essentially no duplicates
+        (0, 10),          # empty input
+    ])
+    def test_matches_np_unique_first_occurrence(
+        self, spill, size, universe
+    ):
+        rng = np.random.default_rng(size + 3)
+        codes = rng.integers(0, universe, size=size)
+        edge_ids = np.arange(size, dtype=np.int64)
+
+        def blocks():
+            for lo in range(0, size, 977):
+                hi = min(lo + 977, size)
+                yield codes[lo:hi], edge_ids[lo:hi]
+
+        total, final = dedup_first_occurrence(
+            spill, "dedup", blocks(), _SMALL_RUNS
+        )
+        _, first = np.unique(codes, return_index=True)
+        first.sort()
+        assert total == first.size
+        np.testing.assert_array_equal(
+            np.asarray(spill_array(final)), codes[first]
+        )
+
+
+class TestChunkedEqualsSerial:
+    """Chunked emission == serial table, forced through multi-run
+    spills by shrinking the run-size floor."""
+
+    @staticmethod
+    def _materialise(stream):
+        tails, heads = [], []
+        for _lo, t, h in stream.chunks():
+            tails.append(t)
+            heads.append(h)
+        empty = np.empty(0, dtype=np.int64)
+        return (
+            np.concatenate(tails) if tails else empty,
+            np.concatenate(heads) if heads else empty,
+        )
+
+    def _assert_equivalent(self, generator, n, spill, chunk_edges=500):
+        serial = generator.run(n)
+        stream = generator.run_chunked(n, chunk_edges, spill=spill)
+        tails, heads = self._materialise(stream)
+        assert stream.num_edges == serial.num_edges
+        np.testing.assert_array_equal(tails, serial.tails)
+        np.testing.assert_array_equal(heads, serial.heads)
+
+    def test_rmat_simplify(self, spill, monkeypatch):
+        monkeypatch.setattr(rmat_mod, "_MIN_RUN_ROWS", 1)
+        gen = RMat(seed=11, simplify=True, edge_factor=8)
+        self._assert_equivalent(gen, 512, spill)
+
+    def test_rmat_simplify_random_access_declined(self):
+        assert RMat(seed=0, simplify=True).random_access(64) is False
+        assert RMat(seed=0, simplify=False).random_access(64) is True
+
+    def test_bipartite_configuration(self, spill, monkeypatch):
+        monkeypatch.setattr(bipartite_mod, "_MIN_RUN_ROWS", 1)
+        gen = BipartiteConfiguration(
+            seed=13,
+            tail_distribution=Zipf(0.7, 12),
+            head_distribution=Zipf(0.9, 8),
+            tail_offset=1,
+        )
+        self._assert_equivalent(gen, 900, spill)
+
+    def test_bipartite_truncated_head_side(self, spill, monkeypatch):
+        # head_nodes pinned high: head stubs outnumber tail stubs, so
+        # the chunked path must reproduce the serial truncation branch.
+        monkeypatch.setattr(bipartite_mod, "_MIN_RUN_ROWS", 1)
+        gen = BipartiteConfiguration(
+            seed=17,
+            tail_distribution=Zipf(0.7, 6),
+            head_distribution=Zipf(0.5, 10),
+            head_offset=2,
+            head_nodes=4_000,
+        )
+        self._assert_equivalent(gen, 300, spill)
+
+    def test_erdos_renyi_m(self, spill, monkeypatch):
+        monkeypatch.setattr(er_mod, "_MIN_RUN_ROWS", 1)
+        gen = ErdosRenyiM(seed=19, edges_per_node=6)
+        self._assert_equivalent(gen, 800, spill)

@@ -19,6 +19,7 @@ import pytest
 
 from repro.core import (
     GraphGenerator,
+    ShardedError,
     ShardedExecutor,
     execute_sharded,
     parse_memory_budget,
@@ -79,7 +80,8 @@ def _tree_bytes(root):
     }
 
 
-def _run_sharded(compiled, sink, shard_rows, workers, spool_dir):
+def _run_sharded(compiled, sink, shard_rows, workers, spool_dir,
+                 backend="thread"):
     result = ShardedExecutor(
         compiled.schema,
         compiled.scale,
@@ -87,6 +89,7 @@ def _run_sharded(compiled, sink, shard_rows, workers, spool_dir):
         shard_rows=shard_rows,
         workers=workers,
         spool_dir=spool_dir,
+        backend=backend,
     ).run(sink=sink)
     result.cleanup()
     return result
@@ -367,6 +370,138 @@ class TestSpoolCleanupOnFailure:
         result.cleanup()
 
 
+class TestProcessBackend:
+    """``backend="process"``: identical bytes, crash containment, and
+    a leak-free file lifecycle."""
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    @pytest.mark.parametrize(
+        "recipe", ["social_network", "recommender_bipartite"]
+    )
+    def test_backend_worker_matrix(
+        self, compiled_recipes, serial_graphs, tmp_path, recipe, fmt
+    ):
+        """Every backend x workers cell writes the serial bytes."""
+        compiled = compiled_recipes[recipe]
+        ref = tmp_path / "ref"
+        export_graph(serial_graphs[recipe], make_sink(fmt, ref))
+        expected = _tree_bytes(ref)
+        for backend in ("thread", "process"):
+            for workers in (1, 2, 4):
+                tag = f"{backend}-{workers}"
+                out = tmp_path / f"out-{tag}"
+                _run_sharded(
+                    compiled, make_sink(fmt, out), 101, workers,
+                    tmp_path / f"spool-{tag}", backend=backend,
+                )
+                assert _tree_bytes(out) == expected, (
+                    recipe, fmt, backend, workers,
+                )
+
+    @staticmethod
+    def _sigkill_schema():
+        from repro.properties.base import PropertyGenerator
+        from repro.properties.registry import (
+            register_property_generator,
+        )
+
+        class SigkillPG(PropertyGenerator):
+            name = "sharded_test_sigkill"
+            access = "random"
+
+            def parameter_names(self):
+                return set()
+
+            def run_many(self, ids, stream, *deps):
+                import os
+                import signal
+
+                os.kill(os.getpid(), signal.SIGKILL)
+
+        try:
+            register_property_generator(SigkillPG)
+        except ValueError:
+            pass  # registered by a previous test in this session
+        return Schema(node_types=[
+            NodeType("Person", properties=[
+                PropertyDef(
+                    "boom", "long",
+                    GeneratorSpec("sharded_test_sigkill", {}),
+                ),
+            ]),
+        ])
+
+    def test_worker_death_raises_sharded_error_and_cleans_spool(self):
+        """SIGKILL mid-shard: a clean ShardedError, no leaked spool."""
+        import tempfile
+
+        schema = self._sigkill_schema()
+        tmp = Path(tempfile.gettempdir())
+        before = set(tmp.glob("repro-spool-*"))
+        with pytest.raises(ShardedError, match="died mid-shard"):
+            ShardedExecutor(
+                schema, {"Person": 64}, seed=3, shard_rows=16,
+                workers=2, backend="process",
+            ).run()
+        leaked = set(tmp.glob("repro-spool-*")) - before
+        assert not leaked, (
+            f"crashed run leaked spool directories: {sorted(leaked)}"
+        )
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ShardedExecutor(
+                Schema(node_types=[NodeType("Person")]),
+                {"Person": 8}, backend="greenlet",
+            )
+
+
+def test_spool_lifecycle_clean_under_resource_warnings(tmp_path):
+    """A full sharded run + materialise + cleanup closes every mmap
+    and file handle: the pipeline survives ``-W error::ResourceWarning``
+    with a silent stderr (warnings raised inside ``__del__`` cannot
+    change the exit code, so the assertion reads the stream too)."""
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    script = """
+import gc
+from pathlib import Path
+from repro.core import ShardedExecutor
+from repro.io import make_sink
+from repro.scenarios import compile_scenario
+from repro.scenarios.zoo import load_zoo
+
+out = Path({out!r})
+compiled = compile_scenario(
+    load_zoo("social_network"), scale={{"Person": 60}}
+)
+result = ShardedExecutor(
+    compiled.schema, compiled.scale, seed=compiled.seed,
+    shard_rows=25, workers=2, backend="process",
+    spool_dir=out / "spool",
+).run(sink=make_sink("csv", out / "csv"))
+graph = result.materialize()
+assert graph.edge_tables
+result.cleanup()
+del result, graph
+gc.collect()
+print("LIFECYCLE-OK")
+""".format(out=str(tmp_path))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+    proc = subprocess.run(
+        [sys.executable, "-W", "error::ResourceWarning", "-c", script],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "LIFECYCLE-OK" in proc.stdout
+    assert "ResourceWarning" not in proc.stderr, proc.stderr
+
+
 class TestEmptyShardContract:
     """Zero-row tables keep their generator dtype end to end."""
 
@@ -527,13 +662,28 @@ class TestTableSpool:
         assert part.dtype == np.int64 and part.size == 0
 
     def test_spill_returns_mmap_view(self, tmp_path):
+        from repro.io.spool import SpillView
+
         spool = TableSpool(tmp_path, shard_rows=3)
         array = np.arange(10, dtype=np.int64)
         view = spool.spill("codes", array)
-        assert isinstance(view, np.memmap)
+        assert isinstance(view, SpillView)
+        assert isinstance(view.array, np.memmap)
         assert np.array_equal(np.asarray(view), array)
+        assert np.array_equal(np.asarray(view[2:5]), array[2:5])
         spool.drop_scratch("codes")
         assert not spool.scratch_path("codes").exists()
+
+    def test_spill_view_pickles_as_path(self, tmp_path):
+        import pickle
+
+        spool = TableSpool(tmp_path, shard_rows=3)
+        array = np.arange(6, dtype=np.int64)
+        view = spool.spill("codes", array)
+        clone = pickle.loads(pickle.dumps(view))
+        assert np.array_equal(np.asarray(clone), array)
+        clone.close()
+        spool.cleanup()
 
 
 class TestMergeShardManifests:
