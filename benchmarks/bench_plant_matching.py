@@ -1,0 +1,71 @@
+"""Baseline subgraph-matcher throughput over the planted zoo recipes.
+
+Recall-identity asserted: each benchmark generates a planted zoo
+scenario at smoke scale, runs :func:`repro.graphstats.verify_plants`,
+and *asserts* recall 1.0 with exact node-map membership before
+recording a row — a fast matcher that stopped finding the plants
+cannot post a number.
+
+Rows land in the ``matching`` suite next to the SBM-Part kernel rows::
+
+    pytest benchmarks/bench_plant_matching.py -q -s \
+        --json-out bench_plant_fresh.json
+
+CI's ``plant-smoke`` job regenerates these rows and gates
+``rows_per_sec`` against the committed ``BENCH_matching.json``
+baseline (10x allowance; absolute throughput varies with the runner).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphstats import verify_plants
+from repro.scenarios import compile_scenario, run_scenario
+from repro.scenarios.zoo import load_zoo
+
+#: (zoo recipe, smoke scale) — mirrors tools/plant_smoke.py.
+PLANTED = [
+    ("fraud_ring_social", {"Person": 400}),
+    ("c2_pattern_infra_telemetry", {"Host": 300}),
+]
+
+
+@pytest.mark.parametrize("name,scale", PLANTED,
+                         ids=[name for name, _ in PLANTED])
+def test_plant_matching_throughput(bench_recorder, table_printer,
+                                   name, scale):
+    compiled = compile_scenario(load_zoo(name), scale=scale)
+    graph, _, _ = run_scenario(compiled, workers=1, validate=False)
+    try:
+        world = graph.materialize()
+        report = verify_plants(world, graph.plan)
+    finally:
+        if hasattr(graph, "cleanup"):
+            graph.cleanup()
+
+    assert report["recall"] == 1.0, report
+    rows = []
+    for plant_name, row in sorted(report["plants"].items()):
+        assert row["recovered"] == row["instances"]
+        assert not row["truncated"]
+        edge_rows = world.edges(row["edge"])
+        rows.append({
+            "plant": plant_name,
+            "template": row["template"]["kind"],
+            "instances": row["instances"],
+            "matches": row["matches"],
+            "edges": len(edge_rows),
+            "rows_per_sec": row["rows_per_sec"],
+            "seconds": row["seconds"],
+        })
+        bench_recorder.record(
+            "matching", f"plant.{name}.{plant_name}",
+            rows_per_sec=row["rows_per_sec"],
+            seconds=row["seconds"],
+            edges=len(edge_rows),
+            instances=row["instances"],
+            matches=row["matches"],
+            recall=row["recall"],
+        )
+    table_printer(f"planted matcher throughput: {name}", rows)

@@ -247,6 +247,13 @@ def build_parser():
             "--report-json", default=None, metavar="PATH",
             help="write the graded report as JSON to PATH",
         )
+        cmd.add_argument(
+            "--plant-report", action="store_true",
+            help="run the baseline subgraph matcher over every "
+                 "planted template and print per-plant recall "
+                 "(exits 1 unless recall is 1.0; see "
+                 "docs/planting.md)",
+        )
         _add_sharding_args(cmd)
         if with_export:
             cmd.add_argument(
@@ -583,13 +590,41 @@ def _cmd_scenario_run(args, export=True):
         backend=args.backend,
     )
     summary = graph.summary()
+    plant_report = None
+    if getattr(args, "plant_report", False):
+        plan = getattr(graph, "plan", None)
+        if plan is None:
+            print(
+                f"scenario {compiled.name!r} declares no plants; "
+                "--plant-report has nothing to verify"
+            )
+        else:
+            from .graphstats import verify_plants
+
+            plant_report = verify_plants(graph.materialize(), plan)
     if hasattr(graph, "cleanup"):
         graph.cleanup()
     print(f"scenario {compiled.name!r}: {summary}")
     for path in written:
         print(f"  wrote {path}")
+    if plant_report is not None:
+        print(
+            f"plant report: {plant_report['recovered']}/"
+            f"{plant_report['instances']} instances recovered "
+            f"(recall {plant_report['recall']:.3f})"
+        )
+        for name, row in plant_report["plants"].items():
+            print(
+                f"  plant {name} [{row['edge']}]: "
+                f"{row['recovered']}/{row['instances']} recovered, "
+                f"{row['matches']} matches, "
+                f"{row['rows_per_sec']:.0f} rows/s"
+            )
     if report is None:
-        return 0
+        return (
+            0 if plant_report is None
+            else int(plant_report["recall"] < 1.0)
+        )
     print(report)
     report_paths = []
     if args.report_json:

@@ -15,9 +15,17 @@ from .components import (
     largest_component_fraction,
 )
 from .degrees import degree_ccdf, degree_histogram, powerlaw_fit_quality
+from .matching import (
+    MatchResult,
+    TemplateQuery,
+    match_template,
+    verify_plants,
+)
 from .summary import structural_summary
 
 __all__ = [
+    "MatchResult",
+    "TemplateQuery",
     "approximate_diameter",
     "attribute_assortativity",
     "average_clustering",
@@ -30,7 +38,9 @@ __all__ = [
     "degree_histogram",
     "largest_component_fraction",
     "local_clustering",
+    "match_template",
     "powerlaw_fit_quality",
     "structural_summary",
     "triangle_count",
+    "verify_plants",
 ]

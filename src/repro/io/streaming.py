@@ -169,7 +169,13 @@ class GraphSink:
             )
 
     def finish(self):
-        """Write the manifest; returns all written paths."""
+        """Write the manifest; returns all written paths.
+
+        An ``extra_manifest`` attribute set on the sink (a dict) is
+        merged into the manifest document — the planting stage records
+        its ground-truth node maps this way, so a ``(template, world,
+        ground_truth)`` triple travels in one export directory.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         manifest = {
             "format": self.format_name,
@@ -177,6 +183,9 @@ class GraphSink:
             "compress": self.compress,
             "tables": self._tables,
         }
+        extra = getattr(self, "extra_manifest", None)
+        if extra:
+            manifest.update(extra)
         path = self.directory / MANIFEST_NAME
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)

@@ -22,7 +22,13 @@ objects — are resolved here:
     joint distributions for correlations and ``attributed_sbm``,
     with marginals taken from the correlated categorical property;
 ``{$dataset: {name, limit}}``
-    embedded value tables (countries, names, interests, ...).
+    embedded value tables (countries, names, interests, ...);
+``{$scale: Type}``
+    the *final* scale anchor of a node type (recipe ∪ overrides) —
+    for structure parameters that must track a count, e.g. a
+    bipartite ``head_nodes`` tied to the head type's anchor, so
+    rescaled runs (smoke clamps, ``--scale`` overrides) stay
+    consistent without editing the recipe.
 """
 
 from __future__ import annotations
@@ -278,11 +284,33 @@ _DISTRIBUTION_KINDS = (
 _JOINT_KINDS = ("homophily", "affinity", "matrix")
 
 
-def _resolve_value(value, spec, edge_name=None, bipartite=False):
+def _make_scale_ref(args, scale):
+    """``{$scale: Type}`` — the final scale anchor of a node type."""
+    if isinstance(args, dict):
+        args = _require_args("scale", args, ("type",))["type"]
+    if not isinstance(args, str):
+        raise ScenarioError(
+            f"$scale expects a node-type name, got {args!r}"
+        )
+    if scale is None:
+        raise ScenarioError(
+            "$scale is only valid where the final scale is known "
+            "(structure / property params)"
+        )
+    if args not in scale:
+        raise ScenarioError(
+            f"$scale: no scale anchor for {args!r} "
+            f"(anchors: {sorted(scale)})"
+        )
+    return int(scale[args])
+
+
+def _resolve_value(value, spec, edge_name=None, bipartite=False,
+                   scale=None):
     """Recursively resolve ``$constructor`` mappings inside ``value``."""
     if isinstance(value, list):
         return [
-            _resolve_value(v, spec, edge_name, bipartite)
+            _resolve_value(v, spec, edge_name, bipartite, scale)
             for v in value
         ]
     if not isinstance(value, dict):
@@ -295,6 +323,8 @@ def _resolve_value(value, spec, edge_name=None, bipartite=False):
                 return _make_distribution(kind, args)
             if kind == "dataset":
                 return _make_dataset(args)
+            if kind == "scale":
+                return _make_scale_ref(args, scale)
             if kind in _JOINT_KINDS:
                 if edge_name is None:
                     raise ScenarioError(
@@ -302,16 +332,16 @@ def _resolve_value(value, spec, edge_name=None, bipartite=False):
                     )
                 return _make_joint(
                     kind, _resolve_value(args, spec, edge_name,
-                                         bipartite)
+                                         bipartite, scale)
                     if kind == "matrix" else args,
                     spec, edge_name, bipartite,
                 )
             raise ScenarioError(
                 f"unknown constructor ${kind}; available: "
-                f"{sorted(('dataset',) + _DISTRIBUTION_KINDS + _JOINT_KINDS)}"
+                f"{sorted(('dataset', 'scale') + _DISTRIBUTION_KINDS + _JOINT_KINDS)}"
             )
     return {
-        k: _resolve_value(v, spec, edge_name, bipartite)
+        k: _resolve_value(v, spec, edge_name, bipartite, scale)
         for k, v in value.items()
     }
 
@@ -355,11 +385,12 @@ def _check_generator_names(spec):
         )
 
 
-def _compile_properties(owner_path, properties, spec, edge_name=None):
+def _compile_properties(owner_path, properties, spec, edge_name=None,
+                        scale=None):
     compiled = []
     for name, body in properties.items():
         params = _resolve_value(
-            body.get("params", {}), spec, edge_name
+            body.get("params", {}), spec, edge_name, scale=scale
         )
         compiled.append(
             PropertyDef(
@@ -372,11 +403,11 @@ def _compile_properties(owner_path, properties, spec, edge_name=None):
     return compiled
 
 
-def _compile_edge(name, edge, spec):
+def _compile_edge(name, edge, spec, scale=None):
     bipartite = edge["tail"] != edge["head"]
     structure = edge["structure"]
     structure_params = _resolve_value(
-        structure.get("params", {}), spec, name, bipartite
+        structure.get("params", {}), spec, name, bipartite, scale
     )
     correlation = None
     corr = edge.get("correlation")
@@ -422,7 +453,8 @@ def _compile_edge(name, edge, spec):
             structure["generator"], structure_params
         ),
         properties=_compile_properties(
-            f"edges.{name}", edge.get("properties", {}), spec, name
+            f"edges.{name}", edge.get("properties", {}), spec, name,
+            scale=scale,
         ),
         correlation=correlation,
         directed=bool(edge.get("directed", False)),
@@ -440,6 +472,7 @@ class CompiledScenario:
     name: str = ""
     description: str = ""
     graded_checks: list = field(default_factory=list)
+    plants: list = field(default_factory=list)
 
     def checks(self):
         """The graded validation checks (copy)."""
@@ -547,20 +580,6 @@ def compile_scenario(spec, scale=None, seed=None):
     elif isinstance(spec, dict):
         spec = ScenarioSpec.from_dict(spec)
     _check_generator_names(spec)
-    node_types = [
-        NodeType(
-            name,
-            properties=_compile_properties(
-                f"nodes.{name}",
-                (node or {}).get("properties", {}),
-                spec,
-            ),
-        )
-        for name, node in spec.nodes.items()
-    ]
-    schema = Schema(node_types=node_types)
-    for name, edge in spec.edges.items():
-        schema.add_edge_type(_compile_edge(name, edge, spec))
     final_scale = dict(spec.scale)
     if scale:
         final_scale.update(scale)
@@ -569,14 +588,41 @@ def compile_scenario(spec, scale=None, seed=None):
             f"scenario {spec.name!r} has no scale anchors; add a "
             "`scale:` block or pass --scale TYPE=COUNT"
         )
+    node_types = [
+        NodeType(
+            name,
+            properties=_compile_properties(
+                f"nodes.{name}",
+                (node or {}).get("properties", {}),
+                spec,
+                scale=final_scale,
+            ),
+        )
+        for name, node in spec.nodes.items()
+    ]
+    schema = Schema(node_types=node_types)
+    for name, edge in spec.edges.items():
+        schema.add_edge_type(
+            _compile_edge(name, edge, spec, scale=final_scale)
+        )
+    final_seed = spec.seed if seed is None else int(seed)
+    plants = []
+    if spec.plants:
+        from ..planting import PlantingError, compile_plants
+
+        try:
+            plants = compile_plants(spec.plants, schema, final_seed)
+        except PlantingError as exc:
+            raise ScenarioError(f"invalid recipe: {exc}") from None
     return CompiledScenario(
         spec=spec,
         schema=schema,
         scale=final_scale,
-        seed=spec.seed if seed is None else int(seed),
+        seed=final_seed,
         name=spec.name,
         description=spec.description,
         graded_checks=_graded_checks(spec, schema),
+        plants=plants,
     )
 
 
@@ -653,9 +699,13 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
         chunk_size = min(
             chunk_size or DEFAULT_CHUNK_SIZE, executor.shard_rows
         )
+    plants = list(getattr(compiled, "plants", []) or [])
     written = []
     sink = None
-    if out_dir is not None:
+    if out_dir is not None and not plants:
+        # Plants append edges after the generated block, so planted
+        # runs cannot stream the primary format mid-generation; they
+        # export from the finished overlay graph below instead.
         primary_dir = (
             os.path.join(out_dir, formats[0])
             if len(formats) > 1 else out_dir
@@ -668,6 +718,41 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
         graph = executor.run(sink=sink)
     else:
         graph = compiled.generator(workers=workers).generate(sink=sink)
+    if plants:
+        from ..planting import plan_plants, planted_graph
+
+        plan = plan_plants(
+            plants,
+            graph.node_counts,
+            {
+                name: len(table)
+                for name, table in graph.edge_tables.items()
+            },
+            compiled.seed,
+        )
+        graph = planted_graph(graph, plan)
+        if out_dir is not None:
+            import json
+
+            os.makedirs(out_dir, exist_ok=True)
+            gt_path = os.path.join(out_dir, "ground_truth.json")
+            with open(gt_path, "w", encoding="utf-8") as handle:
+                json.dump(plan.to_dict(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            written.append(gt_path)
+            extra_manifest = {"planting": plan.to_dict()}
+            for index, fmt in enumerate(formats):
+                fmt_dir = (
+                    os.path.join(out_dir, fmt)
+                    if len(formats) > 1 else out_dir
+                )
+                fmt_sink = make_sink(
+                    fmt, fmt_dir,
+                    chunk_size=chunk_size, compress=compress,
+                )
+                fmt_sink.extra_manifest = extra_manifest
+                written.extend(export_graph(graph, fmt_sink))
     if sink is not None:
         written.extend(sink.written)
         for extra in formats[1:]:
@@ -680,7 +765,9 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
     if validate:
         # The audit computes whole-table statistics (joints, degree
         # histograms), so it needs in-memory tables.
-        target = graph.materialize() if sharded else graph
+        target = (
+            graph.materialize() if sharded or plants else graph
+        )
         report = run_graded(
             target, compiled.graded_checks,
             scenario=compiled.name, seed=compiled.seed,

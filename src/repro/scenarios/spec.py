@@ -461,6 +461,44 @@ RECIPE_FIELDS = (
           description="Edge properties (same shape as node "
                       "properties; `depends_on` may use tail.<prop> / "
                       "head.<prop>)."),
+    Field("plants", "map", default={},
+          description="Ground-truth pattern plants: maps each plant "
+                      "name to its spec (see docs/planting.md)."),
+    Field("plants.<plant>", "map", required=True,
+          description="One plant: a template injected into the "
+                      "generated world with a recorded node map."),
+    Field("plants.<plant>.edge", "str", required=True,
+          description="Target edge type the template edges are "
+                      "appended to (must be monopartite)."),
+    Field("plants.<plant>.template", "map", required=True,
+          description="Template spec: a grown motif or an explicit "
+                      "edge list."),
+    Field("plants.<plant>.template.kind", "str", required=True,
+          choices=("ring", "star", "clique", "path", "tree", "edges"),
+          description="Template shape; `tree` grows a seeded random "
+                      "recursive tree, `edges` takes an explicit "
+                      "list."),
+    Field("plants.<plant>.template.size", "int", default=None,
+          description="Node count of a grown motif (not valid with "
+                      "kind `edges`)."),
+    Field("plants.<plant>.template.edges", "list", default=None,
+          description="Explicit [tail, head] pairs over dense local "
+                      "ids 0..k-1 (kind `edges` only)."),
+    Field("plants.<plant>.count", "int", default=1,
+          description="Number of disjoint copies to inject."),
+    Field("plants.<plant>.attributes", "map", default={},
+          description="Forced node-property values on every plant "
+                      "node (candidate-narrowing labels)."),
+    Field("plants.<plant>.noise", "map", default={},
+          description="Seeded noise rates applied per injected copy."),
+    Field("plants.<plant>.noise.delete", "float", default=0.0,
+          description="Probability a template edge is dropped."),
+    Field("plants.<plant>.noise.rewire", "float", default=0.0,
+          description="Probability a surviving edge's head is "
+                      "redirected to a random world node."),
+    Field("plants.<plant>.noise.corrupt", "float", default=0.0,
+          description="Probability a forced attribute is withheld on "
+                      "a plant node."),
     Field("scale", "map", required=True,
           description="Scale anchors: node type → count and/or edge "
                       "type → edge count; `--scale` overrides."),
@@ -650,6 +688,17 @@ def validate_recipe(recipe):
                         f"declared node type "
                         f"(declared: {sorted(node_names)})"
                     )
+    plants = recipe.get("plants")
+    if isinstance(plants, dict) and isinstance(edges, dict):
+        for name, plant in plants.items():
+            if not isinstance(plant, dict):
+                continue
+            ref = plant.get("edge")
+            if isinstance(ref, str) and ref not in edges:
+                errors.append(
+                    f"plants.{name}.edge: {ref!r} is not a declared "
+                    f"edge type (declared: {sorted(edges)})"
+                )
     scale = recipe.get("scale")
     if isinstance(scale, dict):
         known = node_names | (
@@ -713,6 +762,7 @@ class ScenarioSpec:
     export_chunk_size: int = 65536
     export_compress: bool = False
     validation: dict = dataclass_field(default_factory=dict)
+    plants: dict = dataclass_field(default_factory=dict)
 
     @classmethod
     def from_dict(cls, recipe):
@@ -736,6 +786,7 @@ class ScenarioSpec:
                 _get(recipe, "export.compress", False)
             ),
             validation=dict(_get(recipe, "validation", {})),
+            plants=dict(_get(recipe, "plants", {})),
         )
 
     @classmethod

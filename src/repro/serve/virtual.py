@@ -29,6 +29,17 @@ disk) and correlated (SBM-Part) matching (the final table is computed
 once at first touch, spilled, and paged from disk).  The
 :meth:`VirtualGraph.classification` report says which mode each edge
 type is in and why — that is the protocol flag surfaced to clients.
+
+Planted scenarios (a ``plants:`` block in the recipe) are served as a
+bounded overlay: the :func:`~repro.planting.plant.plan_plants` plan is
+a pure function of ``(plants, node counts, base edge counts, seed)``,
+so the serving layer computes the *same* plan the exporters do.
+Appended plant edges occupy the contiguous id range ``[m, m+e)`` after
+the generated block, forced node attributes patch the public
+node-property queries, and dependent edge properties over the
+appended ids are recomputed through the same random-access kernel —
+so ``neighbors_of`` / ``edge_exists`` see the injected patterns and
+every page matches the exported planted world byte for byte.
 """
 
 from __future__ import annotations
@@ -178,7 +189,7 @@ class VirtualGraph:
     """
 
     def __init__(self, schema, scale, seed=0, spool_dir=None,
-                 chunk_rows=65_536):
+                 chunk_rows=65_536, plants=None):
         self.schema = schema.validate()
         self.scale = dict(scale)
         self.seed = int(seed)
@@ -194,8 +205,11 @@ class VirtualGraph:
         self._sources = {}
         self._states = {}
         self._correlated = {}
+        self.plan = None
         try:
             self._resolve_topology()
+            if plants:
+                self._resolve_plants(plants)
         except BaseException:
             self.close()
             raise
@@ -207,6 +221,7 @@ class VirtualGraph:
         return cls(
             compiled.schema, compiled.scale, seed=compiled.seed,
             spool_dir=spool_dir, chunk_rows=chunk_rows,
+            plants=getattr(compiled, "plants", None),
         )
 
     def close(self):
@@ -257,6 +272,57 @@ class VirtualGraph:
         source = _SpilledSource(self._spool, prefix, table)
         del table
         return source
+
+    # -- planting overlay --------------------------------------------------
+
+    def _resolve_plants(self, plants):
+        """Compute the plant plan against the resolved topology.
+
+        Feeds :func:`~repro.planting.plant.plan_plants` exactly what
+        :func:`~repro.scenarios.compile.run_scenario` feeds it after
+        generation — node counts and *base* edge counts — so the plan
+        (node maps, appended edge block, forced attributes) is
+        identical to the exported one.
+        """
+        from ..planting import plan_plants
+
+        base_counts = {
+            name: source.num_edges
+            for name, source in self._sources.items()
+        }
+        self.plan = plan_plants(
+            list(plants), self.node_counts, base_counts, self.seed
+        )
+
+    def _appended_edges(self, name):
+        """``(tails, heads)`` of the appended plant block (maybe empty)."""
+        if self.plan is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        extra = self.plan.appended.get(name)
+        if extra is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return extra
+
+    def _apply_node_overrides(self, type_name, prop_name, ids, values):
+        """Patch forced plant attributes into a node-property page."""
+        if self.plan is None:
+            return values
+        override = self.plan.overrides.get(f"{type_name}.{prop_name}")
+        if override is None:
+            return values
+        ov_ids, ov_values = override
+        pos = np.searchsorted(ov_ids, ids)
+        pos = np.minimum(pos, ov_ids.size - 1)
+        hit = ov_ids[pos] == ids
+        if not hit.any():
+            return values
+        patched = values.astype(
+            np.promote_types(values.dtype, ov_values.dtype), copy=True
+        )
+        patched[hit] = ov_values[pos[hit]]
+        return patched
 
     # -- matching state (lazy, thread-safe) --------------------------------
 
@@ -369,9 +435,13 @@ class VirtualGraph:
         )
 
     def _node_column(self, type_name, prop_name):
-        """One whole node-property column (global stages only)."""
+        """One whole node-property column (global stages only).
+
+        Raw (pre-override) values: correlated matching ran against the
+        generated properties, before any plant forced its attributes.
+        """
         ids = np.arange(self.node_counts[type_name], dtype=np.int64)
-        return self.node_properties_of(type_name, prop_name, ids)
+        return self._raw_node_properties_of(type_name, prop_name, ids)
 
     # -- node queries ------------------------------------------------------
 
@@ -418,12 +488,24 @@ class VirtualGraph:
         cache[prop.name] = values
         return values
 
-    def node_properties_of(self, type_name, prop_name, ids):
-        """One property column at arbitrary node ids (O(page))."""
+    def _raw_node_properties_of(self, type_name, prop_name, ids):
+        """One property column as *generated* (no plant overrides)."""
         node_type = self.schema.node_type(type_name)
         prop = node_type.property_named(prop_name)
         ids = self._check_node_ids(type_name, ids)
         return self._node_values(type_name, prop, ids, {})
+
+    def node_properties_of(self, type_name, prop_name, ids):
+        """One property column at arbitrary node ids (O(page)).
+
+        Plant-forced attributes are patched in, matching the exported
+        overlay columns.
+        """
+        ids = self._check_node_ids(type_name, ids)
+        values = self._raw_node_properties_of(type_name, prop_name, ids)
+        return self._apply_node_overrides(
+            type_name, prop_name, ids, values
+        )
 
     def node_records(self, type_name, ids):
         """All property columns at the given ids, in schema order."""
@@ -431,13 +513,23 @@ class VirtualGraph:
         ids = self._check_node_ids(type_name, ids)
         cache = {}
         return {
-            prop.name: self._node_values(type_name, prop, ids, cache)
+            prop.name: self._apply_node_overrides(
+                type_name, prop.name, ids,
+                self._node_values(type_name, prop, ids, cache),
+            )
             for prop in node_type.properties
         }
 
     # -- edge queries ------------------------------------------------------
 
     def edge_count(self, name):
+        """Total edges, including the appended plant block (if any)."""
+        return self.base_edge_count(name) + self._appended_edges(
+            name
+        )[0].size
+
+    def base_edge_count(self, name):
+        """Generated (pre-injection) edges only."""
         if name not in self._sources:
             raise KeyError(f"unknown edge type {name!r}")
         return self._sources[name].num_edges
@@ -459,11 +551,31 @@ class VirtualGraph:
         return lo, hi
 
     def edges_range(self, name, lo, hi):
-        """Final ``(tails, heads)`` of edge ids ``[lo, hi)``."""
-        lo, hi = self._check_edge_range(name, lo, hi)
-        return self._edge_state(name).emit(lo, hi)
+        """Final ``(tails, heads)`` of edge ids ``[lo, hi)``.
 
-    def _edge_values(self, edge, prop, ids, tails, heads, cache):
+        Ids past the generated block page into the appended plant
+        edges, exactly like the exported overlay table.
+        """
+        lo, hi = self._check_edge_range(name, lo, hi)
+        m = self.base_edge_count(name)
+        parts_t, parts_h = [], []
+        if lo < m:
+            tails, heads = self._edge_state(name).emit(lo, min(hi, m))
+            parts_t.append(np.asarray(tails, dtype=np.int64))
+            parts_h.append(np.asarray(heads, dtype=np.int64))
+        if hi > m:
+            extra_tails, extra_heads = self._appended_edges(name)
+            parts_t.append(extra_tails[max(lo, m) - m: hi - m])
+            parts_h.append(extra_heads[max(lo, m) - m: hi - m])
+        if not parts_t:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        if len(parts_t) == 1:
+            return parts_t[0], parts_h[0]
+        return np.concatenate(parts_t), np.concatenate(parts_h)
+
+    def _edge_values(self, edge, prop, ids, tails, heads, cache,
+                     node_get=None):
         if prop.name in cache:
             return cache[prop.name]
         if prop.generator is None:
@@ -471,20 +583,22 @@ class VirtualGraph:
                 f"{edge.name}.{prop.name}: no property generator "
                 "declared"
             )
+        if node_get is None:
+            node_get = self._raw_node_properties_of
         deps = []
         for dep in prop.depends_on:
             if dep.startswith("tail."):
-                deps.append(self.node_properties_of(
+                deps.append(node_get(
                     edge.tail_type, dep[len("tail."):], tails
                 ))
             elif dep.startswith("head."):
-                deps.append(self.node_properties_of(
+                deps.append(node_get(
                     edge.head_type, dep[len("head."):], heads
                 ))
             else:
                 deps.append(self._edge_values(
                     edge, edge.property_named(dep), ids, tails, heads,
-                    cache,
+                    cache, node_get,
                 ))
         values = property_values_at(
             prop.generator, f"property:{edge.name}.{prop.name}",
@@ -492,6 +606,61 @@ class VirtualGraph:
         )
         cache[prop.name] = values
         return values
+
+    def _edge_property_page(self, edge, props, lo, hi):
+        """Property columns (dict) for edge ids ``[lo, hi)``.
+
+        The generated segment recomputes endpoint dependencies from the
+        *raw* node columns (that is what base generation saw); the
+        appended segment gathers them through the overridden columns,
+        so forced plant attributes feed dependent edge properties —
+        mirroring the exported overlay tables in both halves.
+        """
+        m = self.base_edge_count(edge.name)
+        pages = []
+        if lo < m:
+            b_hi = min(hi, m)
+            tails, heads = self._edge_state(edge.name).emit(lo, b_hi)
+            ids = np.arange(lo, b_hi, dtype=np.int64)
+            cache = {}
+            pages.append((tails, heads, {
+                prop.name: self._edge_values(
+                    edge, prop, ids, tails, heads, cache
+                )
+                for prop in props
+            }))
+        if hi > m:
+            extra_tails, extra_heads = self._appended_edges(edge.name)
+            a_lo, a_hi = max(lo, m) - m, hi - m
+            tails = extra_tails[a_lo:a_hi]
+            heads = extra_heads[a_lo:a_hi]
+            ids = np.arange(m + a_lo, m + a_hi, dtype=np.int64)
+            cache = {}
+            pages.append((tails, heads, {
+                prop.name: self._edge_values(
+                    edge, prop, ids, tails, heads, cache,
+                    node_get=self.node_properties_of,
+                )
+                for prop in props
+            }))
+        if len(pages) == 1:
+            tails, heads, columns = pages[0]
+            return {"tail": tails, "head": heads, **columns}
+        if not pages:
+            empty = np.empty(0, dtype=np.int64)
+            out = {"tail": empty, "head": empty.copy()}
+            for prop in props:
+                out[prop.name] = np.empty(0)
+            return out
+        out = {
+            "tail": np.concatenate([p[0] for p in pages]),
+            "head": np.concatenate([p[1] for p in pages]),
+        }
+        for prop in props:
+            out[prop.name] = np.concatenate(
+                [p[2][prop.name] for p in pages]
+            )
+        return out
 
     def edge_properties_range(self, name, prop_name, lo, hi):
         """One edge-property column over edge ids ``[lo, hi)``.
@@ -502,23 +671,15 @@ class VirtualGraph:
         edge = self.schema.edge_type(name)
         prop = edge.property_named(prop_name)
         lo, hi = self._check_edge_range(name, lo, hi)
-        tails, heads = self._edge_state(name).emit(lo, hi)
-        ids = np.arange(lo, hi, dtype=np.int64)
-        return self._edge_values(edge, prop, ids, tails, heads, {})
+        return self._edge_property_page(edge, [prop], lo, hi)[
+            prop.name
+        ]
 
     def edge_records(self, name, lo, hi):
         """Endpoints plus every property column for a page of edges."""
         edge = self.schema.edge_type(name)
         lo, hi = self._check_edge_range(name, lo, hi)
-        tails, heads = self._edge_state(name).emit(lo, hi)
-        ids = np.arange(lo, hi, dtype=np.int64)
-        cache = {}
-        columns = {"tail": tails, "head": heads}
-        for prop in edge.properties:
-            columns[prop.name] = self._edge_values(
-                edge, prop, ids, tails, heads, cache
-            )
-        return columns
+        return self._edge_property_page(edge, edge.properties, lo, hi)
 
     def neighbors_of(self, name, node_id, direction="both"):
         """Neighbours of one (final) node id over edge type ``name``.
@@ -533,11 +694,11 @@ class VirtualGraph:
                 f"direction must be out/in/both, got {direction!r}"
             )
         node_id = int(node_id)
-        state = self._edge_state(name)
         found = []
-        for lo in range(0, state.num_edges, self.chunk_rows):
-            hi = min(lo + self.chunk_rows, state.num_edges)
-            tails, heads = state.emit(lo, hi)
+        total = self.edge_count(name)
+        for lo in range(0, total, self.chunk_rows):
+            hi = min(lo + self.chunk_rows, total)
+            tails, heads = self.edges_range(name, lo, hi)
             if direction in ("out", "both"):
                 found.append(heads[tails == node_id])
             if direction in ("in", "both"):
@@ -551,12 +712,16 @@ class VirtualGraph:
 
     def edge_exists(self, name, src, dst):
         """Does the final edge ``src -> dst`` exist (either orientation
-        for undirected edge types)?  Bounded scan with early exit."""
+        for undirected edge types)?  Bounded scan with early exit.
+
+        Scans the appended plant block too, so injected template edges
+        are visible."""
         src, dst = int(src), int(dst)
         state = self._edge_state(name)
-        for lo in range(0, state.num_edges, self.chunk_rows):
-            hi = min(lo + self.chunk_rows, state.num_edges)
-            tails, heads = state.emit(lo, hi)
+        total = self.edge_count(name)
+        for lo in range(0, total, self.chunk_rows):
+            hi = min(lo + self.chunk_rows, total)
+            tails, heads = self.edges_range(name, lo, hi)
             hit = (tails == src) & (heads == dst)
             if not state.directed:
                 hit |= (tails == dst) & (heads == src)
@@ -596,8 +761,8 @@ class VirtualGraph:
                     "sequential structure generator; edges "
                     "materialised once and paged from the disk spool"
                 )
-            edges[name] = {
-                "count": source.num_edges,
+            entry = {
+                "count": self.edge_count(name),
                 "tail": edge.tail_type,
                 "head": edge.head_type,
                 "directed": source.directed,
@@ -607,6 +772,13 @@ class VirtualGraph:
                 "reason": reason,
                 "properties": self.edge_property_names(name),
             }
+            appended = self._appended_edges(name)[0].size
+            if appended:
+                entry["planted"] = {
+                    "start": source.num_edges,
+                    "count": int(appended),
+                }
+            edges[name] = entry
         nodes = {
             name: {
                 "count": self.node_counts[name],

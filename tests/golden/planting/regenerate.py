@@ -1,0 +1,121 @@
+"""Regenerate the golden planting fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/planting/regenerate.py
+
+The fixtures freeze the full ``(template, world, ground_truth)``
+triple a planted scenario run exports — every CSV table, the
+``ground_truth.json`` plan document, and the export manifest with its
+embedded ``"planting"`` block — for 2 seeds x 2 template kinds on a
+tiny fixed world.  ``tests/test_planting.py::TestGoldenTriples``
+re-runs the same recipes and asserts byte-identical output, the same
+pattern ``tests/golden/`` uses to pin exporter bytes.
+
+Because the plant plan is a pure function of ``(plants, node counts,
+base edge counts, seed)``, these bytes also pin the node-map sampler,
+the noise substream layout, and the appended edge-id assignment.  Only
+rerun this script when a planting-behaviour change is *intended* (a
+new sampling scheme, a ground-truth schema bump); the fixture diff
+then documents exactly what changed.
+
+Fixture layout
+--------------
+``<kind>_s<seed>/``
+    one directory per (template kind, seed) combination, holding the
+    exported ``N.flag.csv``, ``link.csv``, ``ground_truth.json`` and
+    ``manifest.json`` of the recipe below.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: The pinned matrix: 2 seeds x 2 template kinds.
+SEEDS = (11, 29)
+KINDS = ("ring", "tree")
+
+
+def build_recipe(kind, seed):
+    """A tiny planted scenario: one categorical property, one
+    small-world edge type, two injected 5-node templates with a
+    forced attribute."""
+    return {
+        "scenario": f"golden_plant_{kind}",
+        "seed": seed,
+        "nodes": {
+            "N": {
+                "properties": {
+                    "flag": {
+                        "generator": "categorical",
+                        "params": {
+                            "values": ["clean", "marked"],
+                            "weights": [0.92, 0.08],
+                        },
+                    },
+                },
+            },
+        },
+        "edges": {
+            "link": {
+                "tail": "N",
+                "head": "N",
+                "structure": {
+                    "generator": "watts_strogatz",
+                    "params": {"k": 4, "beta": 0.2},
+                },
+            },
+        },
+        "plants": {
+            "probe": {
+                "edge": "link",
+                "template": {"kind": kind, "size": 5},
+                "count": 2,
+                "attributes": {"flag": "marked"},
+            },
+        },
+        "scale": {"N": 60},
+        "export": {"formats": ["csv"]},
+    }
+
+
+def fixture_name(kind, seed):
+    return f"{kind}_s{seed}"
+
+
+def write_triple(kind, seed, out_dir):
+    """Run the recipe and export the planted triple into ``out_dir``."""
+    from repro.scenarios import compile_scenario, run_scenario
+
+    compiled = compile_scenario(build_recipe(kind, seed))
+    graph, _, written = run_scenario(
+        compiled, workers=1, out_dir=str(out_dir), validate=False
+    )
+    if hasattr(graph, "cleanup"):
+        graph.cleanup()
+    return written
+
+
+def main():
+    for kind in KINDS:
+        for seed in SEEDS:
+            target = GOLDEN_DIR / fixture_name(kind, seed)
+            staging = Path(tempfile.mkdtemp(prefix="repro-golden-"))
+            write_triple(kind, seed, staging)
+            if target.exists():
+                shutil.rmtree(target)
+            shutil.copytree(staging, target)
+            shutil.rmtree(staging)
+            files = sorted(
+                p.name for p in target.iterdir() if p.is_file()
+            )
+            print(f"{target.relative_to(GOLDEN_DIR.parent.parent)}: "
+                  f"{', '.join(files)}")
+
+
+if __name__ == "__main__":
+    main()

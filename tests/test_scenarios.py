@@ -401,7 +401,9 @@ class TestGrading:
 
 
 SMOKE_SCALE = {
+    "c2_pattern_infra_telemetry": {"Host": 400},
     "citation_dag": {"Paper": 400},
+    "fraud_ring_social": {"Person": 500},
     "infra_telemetry": {"Host": 400},
     "ldbc_attributed": {"Person": 500},
     "lfr_benchmark": {"Node": 500},

@@ -5,10 +5,13 @@ Three pillars (docs/serving.md):
 * **serve-vs-generate equivalence** — every node property column,
   edge endpoint and edge property page served by a
   :class:`~repro.serve.VirtualGraph` equals the materialised output
-  of the serial engine, on two zoo recipes covering all three edge
-  modes (virtual, spooled-sequential, spooled-correlated);
+  of the serial engine, on three zoo recipes covering all three edge
+  modes (virtual, spooled-sequential, spooled-correlated) plus a
+  planted benchmark recipe (appended edge block, forced attributes);
 * **byte-identity** — a served CSV page is the exact line range of a
   ``generate`` export file;
+* **planted worlds** — ``neighbors_of`` / ``edge_exists`` see every
+  injected template edge and the classification reports the block;
 * **HTTP contract** — pagination boundaries, JSON error bodies, and
   byte-identical responses under concurrent load.
 """
@@ -39,7 +42,25 @@ from repro.serve import VirtualGraph, create_server
 SCALES = {
     "social_network": {"Person": 250},
     "web_graph_rmat": {"Page": 256},
+    "c2_pattern_infra_telemetry": {"Host": 300},
 }
+
+
+def _reference_graph(compiled):
+    """What a real ``run_scenario`` produces: generate, then overlay
+    the plant plan (planted recipes), materialised to plain tables."""
+    graph = compiled.generator().generate()
+    plants = list(getattr(compiled, "plants", []) or [])
+    if not plants:
+        return graph
+    from repro.planting import plan_plants, planted_graph
+
+    plan = plan_plants(
+        plants, graph.node_counts,
+        {name: len(t) for name, t in graph.edge_tables.items()},
+        compiled.seed,
+    )
+    return planted_graph(graph, plan).materialize()
 
 
 @pytest.fixture(scope="module", params=sorted(SCALES))
@@ -48,7 +69,7 @@ def scenario_pair(request):
     compiled = compile_scenario(
         load_zoo(request.param), scale=SCALES[request.param]
     )
-    graph = compiled.generator().generate()
+    graph = _reference_graph(compiled)
     virtual = VirtualGraph.from_scenario(compiled, chunk_rows=512)
     yield request.param, compiled, graph, virtual
     virtual.close()
@@ -148,6 +169,81 @@ class TestServeMatchesGenerate:
                 virtual.node_property_names(type_name)[0],
                 np.array([graph.node_counts[type_name]]),
             )
+
+
+class TestPlantedServe:
+    """Planted recipes through the serving layer (docs/planting.md)."""
+
+    @pytest.fixture()
+    def planted(self, scenario_pair):
+        name, compiled, graph, virtual = scenario_pair
+        if virtual.plan is None:
+            pytest.skip("recipe declares no plants")
+        return compiled, graph, virtual
+
+    def test_appended_block_matches_plan(self, planted):
+        compiled, graph, virtual = planted
+        plan = virtual.plan
+        for edge_name, (tails, heads) in plan.appended.items():
+            m = virtual.base_edge_count(edge_name)
+            total = virtual.edge_count(edge_name)
+            assert total == m + tails.size
+            got_t, got_h = virtual.edges_range(edge_name, m, total)
+            assert (got_t == tails).all()
+            assert (got_h == heads).all()
+
+    def test_injected_edges_visible(self, planted):
+        compiled, graph, virtual = planted
+        plan = virtual.plan
+        edge_of = {p.name: p.edge for p in plan.plants}
+        for inst in plan.instances:
+            edge_name = edge_of[inst.plant]
+            for record in inst.edges:
+                if record["status"] != "planted":
+                    continue
+                u, v = record["world"]
+                assert virtual.edge_exists(edge_name, u, v)
+                assert v in virtual.neighbors_of(edge_name, u)
+
+    def test_forced_attributes_served(self, planted):
+        compiled, graph, virtual = planted
+        plan = virtual.plan
+        for plant in plan.plants:
+            for inst in plan.instances_of(plant.name):
+                ids = np.asarray(inst.node_map, dtype=np.int64)
+                for prop, value in plant.attributes.items():
+                    served = virtual.node_properties_of(
+                        plant.node_type, prop, ids
+                    )
+                    assert (served == value).all(), (plant.name, prop)
+
+    def test_classification_reports_planted_block(self, planted):
+        compiled, graph, virtual = planted
+        plan = virtual.plan
+        report = virtual.classification()
+        for edge_name, (tails, _) in plan.appended.items():
+            entry = report["edges"][edge_name]
+            assert entry["planted"] == {
+                "start": int(plan.edge_counts[edge_name]),
+                "count": int(tails.size),
+            }
+            assert entry["count"] == (
+                plan.edge_counts[edge_name] + tails.size
+            )
+
+    def test_plan_identical_to_run_scenario_path(self, planted):
+        compiled, graph, virtual = planted
+        from repro.planting import plan_plants
+
+        base_counts = {
+            name: virtual.base_edge_count(name)
+            for name in compiled.schema.edge_types
+        }
+        again = plan_plants(
+            compiled.plants, virtual.node_counts, base_counts,
+            compiled.seed,
+        )
+        assert again.to_dict() == virtual.plan.to_dict()
 
 
 class TestCsvByteIdentity:

@@ -6,10 +6,13 @@ The CI docs job runs this and uploads the output directory as the
 pass/warn/fail report of each built-in scenario — scenario fidelity
 stays comparable across PRs (the GRASP-style grading rationale).
 
-Each recipe's *first* scale anchor is clamped to ``--max-scale``
-(default 500); remaining anchors are honoured as declared (they may be
-structurally tied, e.g. a bipartite head count matched to the
-structure's ``head_nodes``).  Exits 1 if any scenario grades F.
+Recipe scales are clamped to ``--max-scale`` (default 500) by
+:func:`clamp_scale`: the first anchor is clamped directly and every
+later anchor is scaled by the same ratio, so structurally coupled
+counts (a bipartite head sized against its tail, say) keep their
+declared proportions instead of dwarfing the clamped primary.
+Power-of-two anchors stay powers of two (R-MAT needs ``n = 2^k``).
+Exits 1 if any scenario grades F.
 
 Usage::
 
@@ -21,6 +24,42 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+
+
+def _is_pow2(value):
+    return value > 0 and value & (value - 1) == 0
+
+
+def clamp_scale(scale, max_scale):
+    """Clamp a recipe's scale anchors to a smoke budget.
+
+    The *first* anchor is the primary: it is clamped to ``max_scale``.
+    Every later anchor is scaled by the same ``clamped / declared``
+    ratio (with a floor of 1), so multi-anchor recipes shrink
+    uniformly — previously only the primary was clamped and, e.g., a
+    ``{User: 4000, Item: 2000}`` recipe smoked with 500 users but the
+    full 2000 items.  Anchors that are declared as powers of two are
+    kept powers of two (rounded down) because R-MAT-style generators
+    require ``n = 2^k``.
+    """
+    scale = dict(scale)
+    if not scale:
+        return scale
+    items = list(scale.items())
+    primary, declared = items[0]
+    if declared <= max_scale:
+        return scale
+    clamped = int(max_scale)
+    if _is_pow2(declared):
+        clamped = 1 << (clamped.bit_length() - 1)
+    ratio = clamped / declared
+    out = {primary: clamped}
+    for key, value in items[1:]:
+        scaled = max(1, int(round(value * ratio)))
+        if _is_pow2(value):
+            scaled = 1 << (scaled.bit_length() - 1)
+        out[key] = scaled
+    return out
 
 
 def main(argv=None):
@@ -41,16 +80,7 @@ def main(argv=None):
     order = {"A": 0, "B": 1, "C": 2, "F": 3}
     failed = []
     for name, spec in zoo_specs():
-        override = {}
-        if spec.scale:
-            primary = next(iter(spec.scale))
-            value = spec.scale[primary]
-            clamped = min(value, args.max_scale)
-            if value & (value - 1) == 0 and clamped != value:
-                # Keep power-of-two anchors power-of-two (R-MAT needs
-                # n to be 2^k).
-                clamped = 1 << (clamped.bit_length() - 1)
-            override[primary] = clamped
+        override = clamp_scale(spec.scale, args.max_scale)
         compiled = compile_scenario(spec, scale=override)
         _, report, _ = run_scenario(
             compiled, workers=args.workers, validate=True

@@ -81,8 +81,20 @@ def main(argv=None):
     print(f"serve-smoke: scenario {args.scenario!r} "
           f"scale={compiled.scale} seed={compiled.seed}")
 
-    # The reference: a real serial generate + CSV export.
+    # The reference: a real serial generate + CSV export.  Planted
+    # recipes overlay the plan first — the server must match the
+    # *planted* export (appended edges, forced attributes).
     graph = compiled.generator(workers=1).generate()
+    plants = list(getattr(compiled, "plants", []) or [])
+    if plants:
+        from repro.planting import plan_plants, planted_graph
+
+        plan = plan_plants(
+            plants, graph.node_counts,
+            {n: len(t) for n, t in graph.edge_tables.items()},
+            compiled.seed,
+        )
+        graph = planted_graph(graph, plan)
     out_dir = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
     written = {p.stem: p for p in export_graph_csv(graph, out_dir)
                if p.suffix == ".csv"}
@@ -148,6 +160,29 @@ def main(argv=None):
                       f"?src={int(tails[0])}&dst={int(heads[0])}"))
             if not _check(f"exists {edge_name} first edge",
                           exists["exists"] is True):
+                failures += 1
+
+        # Planted recipes: every injected (non-deleted) template edge
+        # must be visible through the live existence route.
+        if plants:
+            edge_of = {p.name: p.edge for p in plan.plants}
+            missing = 0
+            probes = 0
+            for inst in plan.instances:
+                for record in inst.edges:
+                    if record["status"] != "planted":
+                        continue
+                    u, v = record["world"]
+                    exists = json.loads(_get(
+                        base,
+                        f"/edges/{edge_of[inst.plant]}/exists"
+                        f"?src={u}&dst={v}"))
+                    probes += 1
+                    if exists["exists"] is not True:
+                        missing += 1
+            if not _check("planted edges visible via /exists",
+                          missing == 0,
+                          f"{probes - missing}/{probes} present"):
                 failures += 1
 
         # Pagination contract: a past-the-end offset is an empty 200.
