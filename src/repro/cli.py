@@ -87,6 +87,35 @@ def _add_sharding_args(cmd):
              "fork-server pool for CPU-bound pipelines (output is "
              "byte-identical either way; see docs/scaling.md)",
     )
+    cmd.add_argument(
+        "--spool-dir", default=None, metavar="DIR",
+        help="out-of-core spool location (default: a private "
+             "temporary directory, removed on failure).  An explicit "
+             "directory is preserved when a stage fails, which is "
+             "what --resume needs",
+    )
+    cmd.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume an interrupted out-of-core run from the "
+             "checkpoint.json ledger in DIR: the run fingerprint is "
+             "validated, verified shards are skipped, and the export "
+             "is re-emitted byte-identical to an uninterrupted run "
+             "(see docs/robustness.md)",
+    )
+    cmd.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="per-shard retry budget for out-of-core mode: a failed "
+             "or killed worker shard is re-run (respawning the pool "
+             "if it broke) with exponential backoff before the run "
+             "aborts",
+    )
+    cmd.add_argument(
+        "--inject-faults", default=None, metavar="SPECS",
+        help="deterministic fault injection for chaos testing, e.g. "
+             "'shard:3:crash' or 'export:2:ioerror,shard:5:slow=2.0' "
+             "(also honours the REPRO_FAULTS environment variable; "
+             "see docs/robustness.md for the grammar)",
+    )
 
 
 def build_parser():
@@ -328,6 +357,11 @@ def build_parser():
              "(default: a private temporary directory)",
     )
     serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-connection socket timeout — a stalled client is "
+             "disconnected instead of pinning a handler thread",
+    )
+    serve.add_argument(
         "--verbose", action="store_true",
         help="log each request to stderr",
     )
@@ -360,7 +394,10 @@ def _cmd_generate(args):
         raise SystemExit(
             "no scale given: add a DSL scale block or --scale TYPE=COUNT"
         )
-    if args.shard_rows is not None or args.memory_budget is not None:
+    sharded = (args.shard_rows is not None
+               or args.memory_budget is not None
+               or args.resume is not None)
+    if sharded:
         from .core import ShardedExecutor
 
         executor = ShardedExecutor(
@@ -369,6 +406,10 @@ def _cmd_generate(args):
             memory_budget=args.memory_budget,
             workers=args.workers,
             backend=args.backend,
+            spool_dir=args.resume or args.spool_dir,
+            resume=args.resume is not None,
+            retries=args.retries,
+            faults=args.inject_faults,
         )
         # Cap export chunks at the shard size so the sink stays within
         # the memory budget (bytes are identical for any chunk size).
@@ -383,7 +424,8 @@ def _cmd_generate(args):
         )
         graph = executor.run(sink=sink)
         summary = graph.summary()
-        graph.cleanup()
+        if executor.spool_dir is None:
+            graph.cleanup()
     else:
         sink = make_sink(
             args.format,
@@ -588,6 +630,10 @@ def _cmd_scenario_run(args, export=True):
         shard_rows=args.shard_rows,
         memory_budget=args.memory_budget,
         backend=args.backend,
+        spool_dir=args.resume or args.spool_dir,
+        resume=args.resume is not None,
+        retries=args.retries,
+        faults=args.inject_faults,
     )
     summary = graph.summary()
     plant_report = None
@@ -602,7 +648,9 @@ def _cmd_scenario_run(args, export=True):
             from .graphstats import verify_plants
 
             plant_report = verify_plants(graph.materialize(), plan)
-    if hasattr(graph, "cleanup"):
+    if hasattr(graph, "cleanup") and not (args.resume or args.spool_dir):
+        # An explicitly named spool is the user's to keep (it is what
+        # --resume reads); owned temporaries are removed.
         graph.cleanup()
     print(f"scenario {compiled.name!r}: {summary}")
     for path in written:
@@ -660,7 +708,11 @@ def _cmd_scenario(args):
 
 def _cmd_serve(args):
     from .scenarios import ScenarioError, compile_scenario
-    from .serve import VirtualGraph, create_server
+    from .serve import (
+        VirtualGraph,
+        create_server,
+        install_signal_handlers,
+    )
 
     try:
         spec = _load_scenario_spec(args.name)
@@ -669,27 +721,54 @@ def _cmd_serve(args):
         )
     except (ScenarioError, OSError) as exc:
         raise SystemExit(f"scenario error: {exc}") from None
+    import threading
+
     graph = VirtualGraph.from_scenario(
         compiled, spool_dir=args.spool_dir,
         chunk_rows=args.chunk_rows,
     )
     try:
-        graph.warm()
+        # Bind before warming so the chosen port is printed (and
+        # /healthz answers) immediately; data routes serve 503 with
+        # Retry-After until the edge states are built.
         server = create_server(
-            graph, args.host, args.port, verbose=args.verbose
+            graph, args.host, args.port, verbose=args.verbose,
+            ready=False, request_timeout=args.request_timeout,
         )
         host, port = server.server_address[:2]
-        print(f"serving {compiled.name!r} on http://{host}:{port}/")
-        classification = graph.classification()
-        for name, meta in classification["edges"].items():
-            print(f"  edge {name}: mode={meta['mode']} "
-                  f"({meta['count']} edges)")
+        print(f"serving {compiled.name!r} on http://{host}:{port}/",
+              flush=True)
+        install_signal_handlers(server)
+        warm_error = []
+
+        def _warm():
+            try:
+                graph.warm()
+                classification = graph.classification()
+                for name, meta in classification["edges"].items():
+                    print(f"  edge {name}: mode={meta['mode']} "
+                          f"({meta['count']} edges)", flush=True)
+                server.ready.set()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                warm_error.append(exc)
+                threading.Thread(
+                    target=server.shutdown, daemon=True
+                ).start()
+
+        threading.Thread(
+            target=_warm, name="repro-serve-warm", daemon=True
+        ).start()
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            # Graceful drain: stop accepting, finish in-flight
+            # requests (block_on_close), then release the graph —
+            # which unlinks the owned spool, Ctrl-C included.
             server.server_close()
+        if warm_error:
+            raise SystemExit(f"serve warmup failed: {warm_error[0]}")
     finally:
         graph.close()
     return 0

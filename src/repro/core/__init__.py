@@ -1,8 +1,15 @@
 """DataSynth core: schema, dependency analysis, matching, engine."""
 
+from .checkpoint import (
+    CheckpointError,
+    CheckpointLedger,
+    run_fingerprint,
+    schema_fingerprint,
+)
 from .dependency import DependencyError, Task, TaskGraph, build_task_graph
 from .engine import GraphGenerator
 from .executor import ParallelExecutor, execute_parallel
+from .faults import FaultPlan, InjectedFault, parse_faults
 from .matching import (
     BipartiteMatchResult,
     SbmPartResult,
@@ -36,11 +43,15 @@ from .schema import (
 __all__ = [
     "BipartiteMatchResult",
     "Cardinality",
+    "CheckpointError",
+    "CheckpointLedger",
     "CorrelationSpec",
     "DependencyError",
     "EdgeType",
+    "FaultPlan",
     "GeneratorSpec",
     "GraphGenerator",
+    "InjectedFault",
     "NodeType",
     "ParallelExecutor",
     "PropertyDef",
@@ -60,8 +71,11 @@ __all__ = [
     "execute_sharded",
     "greedy_label_match",
     "ldg_degree_match",
+    "parse_faults",
     "parse_memory_budget",
     "random_match",
+    "run_fingerprint",
+    "schema_fingerprint",
     "sbm_part_assign",
     "sbm_part_match",
 ]

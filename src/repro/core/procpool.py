@@ -24,14 +24,23 @@ ahead of the consumer and yields results in submission order, so a
 skewed shard no longer idles the other workers while peak memory stays
 at the documented ``workers x shard_rows``.
 
-A worker killed mid-shard surfaces as :class:`ShardedError`; the
-executor translates that into spool cleanup, so a crash never leaks a
-spool directory.
+Shard jobs are pure functions of their argument tuples, so a failed
+shard is safe to re-run: with ``retries=N`` the pool respawns after a
+:class:`~concurrent.futures.process.BrokenProcessPool` (a worker
+killed mid-shard) and re-submits the window, or re-submits just the
+failed shard after an ordinary worker exception, backing off
+exponentially between attempts.  Exhausted retries surface as
+:class:`ShardedError` carrying the failing shard id and — when the
+exception crossed the process boundary intact — the formatted
+worker-side traceback; the executor translates that into spool
+cleanup, so a crash never leaks a spool directory.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
+import traceback
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -42,7 +51,40 @@ BACKENDS = ("thread", "process")
 
 
 class ShardedError(RuntimeError):
-    """A sharded worker failed irrecoverably (e.g. killed mid-shard)."""
+    """A sharded worker failed irrecoverably (retries exhausted).
+
+    Attributes
+    ----------
+    shard:
+        submission index of the failing shard job (None when unknown).
+    worker_traceback:
+        the formatted traceback from the worker side, when one crossed
+        the process boundary; None for a worker killed outright (the
+        kernel leaves no Python traceback to forward).
+    """
+
+    def __init__(self, message, shard=None, worker_traceback=None):
+        super().__init__(message)
+        self.shard = shard
+        self.worker_traceback = worker_traceback
+
+
+def _remote_traceback(exc):
+    """Formatted worker-side traceback for a pool exception.
+
+    ``ProcessPoolExecutor`` chains a ``_RemoteTraceback`` (the string
+    form of the worker's traceback) as ``__cause__`` when it re-raises
+    a picklable worker exception in the parent; fall back to the local
+    format for thread-backend exceptions, whose traceback objects are
+    shared directly.
+    """
+    cause = exc.__cause__
+    if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+        return str(cause)
+    formatted = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return formatted or None
 
 
 class ShardPool:
@@ -51,16 +93,25 @@ class ShardPool:
     The pool is created lazily on first use and persists across tasks
     (one fork per run, not per shard).  ``workers == 1`` on the thread
     backend short-circuits to inline execution — the reference serial
-    path every other configuration must byte-match.
+    path every other configuration must byte-match; failures there
+    propagate raw, exactly as a serial run would raise them.
+
+    ``retries`` bounds re-runs *per shard*; ``backoff`` is the base
+    delay of the exponential backoff (``backoff * 2**(attempt-1)``,
+    capped at :data:`BACKOFF_CAP` seconds) slept before each re-run.
     """
 
-    def __init__(self, backend="thread", workers=1):
+    BACKOFF_CAP = 2.0
+
+    def __init__(self, backend="thread", workers=1, retries=0, backoff=0.1):
         if backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
             )
         self.backend = backend
         self.workers = max(int(workers), 1)
+        self.retries = max(int(retries), 0)
+        self.backoff = max(float(backoff), 0.0)
         self._pool = None
 
     def _executor(self):
@@ -91,28 +142,96 @@ class ShardPool:
                 yield fn(*args)
             return
         window = max(int(window if window else self.workers + 1), 1)
-        pool = self._executor()
+        # Pending items are [shard_index, args, future, attempts]; args
+        # are retained while in flight so a failed shard can be re-run.
         pending = deque()
+        index = 0
         try:
             for args in jobs:
-                pending.append(pool.submit(fn, *args))
+                item = [index, args, None, 0]
+                self._submit(fn, pending, item)
+                pending.append(item)
+                index += 1
                 if len(pending) >= window:
-                    yield self._result(pending.popleft())
+                    yield self._next_result(fn, pending)
             while pending:
-                yield self._result(pending.popleft())
+                yield self._next_result(fn, pending)
         finally:
-            for future in pending:
-                future.cancel()
+            for item in pending:
+                item[2].cancel()
 
-    @staticmethod
-    def _result(future):
-        try:
-            return future.result()
-        except BrokenProcessPool as exc:
-            raise ShardedError(
-                "sharded worker process died mid-shard; the run was "
-                "aborted and its spool output discarded"
-            ) from exc
+    def _submit(self, fn, pending, item):
+        """Submit ``item``'s job, absorbing a pool that broke under us.
+
+        A worker SIGKILL can surface on the *submit* side — the pool
+        breaks while the window is still filling — so submission runs
+        through the same retry accounting as result collection: the
+        head in-flight shard (the probable victim) is charged an
+        attempt, the pool respawned, the window resubmitted, and then
+        this item submitted onto the fresh pool.
+        """
+        while True:
+            try:
+                item[2] = self._executor().submit(fn, *item[1])
+                return
+            except BrokenProcessPool as exc:
+                victim = pending[0] if pending else item
+                self._retry(fn, pending, victim, exc, pool_broken=True)
+
+    def _next_result(self, fn, pending):
+        """Resolve the head-of-queue shard, retrying up to the budget."""
+        while True:
+            item = pending[0]
+            try:
+                result = item[2].result()
+            except BrokenProcessPool as exc:
+                self._retry(fn, pending, item, exc, pool_broken=True)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                self._retry(fn, pending, item, exc, pool_broken=False)
+            else:
+                pending.popleft()
+                return result
+
+    def _retry(self, fn, pending, item, exc, pool_broken):
+        item[3] += 1
+        if item[3] > self.retries:
+            raise self._failure(item[0], item[3], exc, pool_broken) from exc
+        delay = min(self.backoff * (2 ** (item[3] - 1)), self.BACKOFF_CAP)
+        if delay > 0:
+            time.sleep(delay)
+        if pool_broken:
+            # The executor is unusable once broken: discard it, respawn
+            # lazily, and resubmit the whole in-flight window (their
+            # futures all died with the pool).  Only the head item's
+            # attempt counter advances — the trailing shards were
+            # collateral, not the (probable) culprit.
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            for entry in pending:
+                entry[2] = self._executor().submit(fn, *entry[1])
+        else:
+            item[2] = self._executor().submit(fn, *item[1])
+
+    def _failure(self, shard, attempts, exc, pool_broken):
+        tried = f"after {attempts} attempt{'s' if attempts != 1 else ''}"
+        if pool_broken:
+            return ShardedError(
+                f"sharded worker process died mid-shard (shard {shard}, "
+                f"{tried}); the run was aborted and its spool output "
+                "discarded",
+                shard=shard,
+                worker_traceback=None,
+            )
+        remote = _remote_traceback(exc)
+        message = (
+            f"sharded worker failed on shard {shard} {tried}: {exc!r}"
+        )
+        if remote:
+            message += "\n--- worker traceback ---\n" + remote.rstrip("\n")
+        return ShardedError(message, shard=shard, worker_traceback=remote)
 
     def close(self):
         pool, self._pool = self._pool, None

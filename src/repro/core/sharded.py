@@ -55,6 +55,8 @@ from ..io.spool import TableSpool
 from ..prng import RandomStream, derive_seed
 from ..structure.registry import create_generator
 from ..tables import PropertyTable
+from . import faults as _faults
+from .checkpoint import CheckpointLedger, run_fingerprint
 from .dependency import DependencyError, build_task_graph
 from .matching import random_match
 from .procpool import BACKENDS, ShardPool, ShardedError
@@ -180,6 +182,8 @@ def _dep_slice(dep, start, stop):
 def _property_shard_part(spool, key, index, spec, task_id, seed, bound,
                          deps):
     """One property shard: kernel to spool part file (any worker)."""
+    _faults.fire("property", index)
+    _faults.fire("shard", index)
     start, stop = bound
     values = property_shard_values(
         spec, task_id, seed, start, stop,
@@ -191,6 +195,8 @@ def _property_shard_part(spool, key, index, spec, task_id, seed, bound,
 def _relabel_shard_part(spool, key, index, handle, lo, hi, tail_map,
                         head_map):
     """One edge shard: chunk emission + relabel to spool (any worker)."""
+    _faults.fire("match", index)
+    _faults.fire("shard", index)
     tails, heads = handle.read_chunk(lo, hi)
     if tail_map is not None:
         tails = tail_map[tails]
@@ -367,12 +373,33 @@ class ShardedExecutor:
         shard part files straight into the spool (and formats export
         chunks), which is what actually scales past one core.
     spool_dir:
-        spool location (a temporary directory by default).
+        spool location (a temporary directory by default).  Resumable
+        runs must name one explicitly: an owned temporary spool is
+        removed when a stage fails, an explicit one is preserved for
+        inspection and ``resume``.
+    retries:
+        per-shard retry budget.  Shard jobs are pure functions of
+        their arguments, so a failed shard (worker exception or a
+        worker killed mid-shard) is re-run — respawning the process
+        pool when it broke — with exponential backoff; ``0`` keeps the
+        fail-fast behaviour.
+    resume:
+        continue a previous run from its ``checkpoint.json`` ledger in
+        ``spool_dir``: the run fingerprint is validated, acked shard
+        parts are re-verified (size + CRC) and skipped, and the sink
+        re-emits every table from the spool so the export is
+        byte-identical to an uninterrupted run.
+    faults:
+        a :class:`~repro.core.faults.FaultPlan` (or spec string) to
+        consult at stage boundaries; ``None`` falls back to the
+        ``REPRO_FAULTS`` environment variable.  Test/chaos harness
+        hook — production runs leave it unset.
     """
 
     def __init__(self, schema, scale, seed=0, shard_rows=None,
                  memory_budget=None, workers=1, backend="thread",
-                 spool_dir=None):
+                 spool_dir=None, retries=0, backoff=0.1, resume=False,
+                 faults=None):
         self.schema = schema.validate()
         self.scale = dict(scale)
         self.seed = int(seed)
@@ -390,6 +417,18 @@ class ShardedExecutor:
             )
         self.backend = backend
         self.spool_dir = spool_dir
+        self.retries = max(0, int(retries))
+        self.backoff = float(backoff)
+        self.resume = bool(resume)
+        if self.resume and spool_dir is None:
+            raise ValueError(
+                "resume requires an explicit spool_dir (an owned "
+                "temporary spool is removed on failure, so there is "
+                "nothing to resume from)"
+            )
+        self.faults = faults
+        self._ledger = None
+        self._stage_counters = None
 
     def run(self, sink=None):
         """Execute all tasks; returns a :class:`ShardedResult`.
@@ -408,7 +447,23 @@ class ShardedExecutor:
         spool = TableSpool(Path(spool_dir), self.shard_rows)
         result = ShardedResult(self.schema, self.seed, spool)
         structures = {}
-        pool = ShardPool(self.backend, self.workers)
+        fingerprint = run_fingerprint(
+            self.schema, self.scale, self.seed, self.shard_rows,
+            self._sink_format(sink),
+        )
+        if self.resume:
+            self._ledger = CheckpointLedger.load(
+                spool.directory, fingerprint
+            )
+        else:
+            self._ledger = CheckpointLedger.fresh(
+                spool.directory, fingerprint
+            )
+        self._stage_counters = {"count": 0, "structure": 0}
+        pool = ShardPool(self.backend, self.workers,
+                         retries=self.retries, backoff=self.backoff)
+        plan = _faults.as_plan(self.faults)
+        previous_plan = _faults.install_plan(plan)
         pmap_attached = False
         try:
             try:
@@ -431,7 +486,7 @@ class ShardedExecutor:
                 # A stage raised mid-run: the spool holds half-written
                 # shards nobody can consume.  Remove it — unless the
                 # caller chose the directory, in which case it is
-                # theirs to inspect and clean up.
+                # theirs to inspect, resume, and clean up.
                 if owns_spool:
                     spool.cleanup()
                 raise
@@ -439,12 +494,33 @@ class ShardedExecutor:
             pool.close()
             if pmap_attached:
                 sink.pmap = None
+            _faults.install_plan(previous_plan)
+            if plan is not None and plan is not self.faults:
+                # as_plan() compiled this plan (string or env spec) and
+                # with it a private fired-state tempdir; a caller-built
+                # FaultPlan stays the caller's to clean up.
+                plan.cleanup()
+            self._ledger = None
+            self._stage_counters = None
         return result
+
+    @staticmethod
+    def _sink_format(sink):
+        """Sink identity for the run fingerprint: a half-written CSV
+        spool must not be resumed into a JSONL export."""
+        if sink is None:
+            return "none"
+        return getattr(sink, "format_name", None) or type(sink).__name__
 
     # -- task dispatch -----------------------------------------------------
 
     def _apply(self, task, result, structures, spool, pool):
         if task.kind == "count":
+            # Counts are never checkpointed: recomputing them on
+            # resume is cheap and cross-checks the purity argument.
+            index = self._stage_counters["count"]
+            self._stage_counters["count"] = index + 1
+            _faults.fire("count", index)
             result.node_counts[task.subject] = resolve_count(
                 self.schema, self.scale, task, structures
             )
@@ -475,17 +551,30 @@ class ShardedExecutor:
         workers run the range-pure kernel and save part files, the
         parent records the acked metadata in shard order — the kernels
         are pure, so scheduling cannot change the output.
+
+        Each acked shard is checkpointed; on resume the ledger's
+        verified prefix is adopted from the spool instead of re-run.
         """
         key = task.subject
+        ledger = self._ledger
+        bounds = spool.shard_bounds(count)
+        acked = ledger.verified_shards(key)
+        skip = min(len(acked), len(bounds))
+        for index in range(skip):
+            spool.record_property_shard(key, index, acked[index],
+                                        role=role)
         jobs = (
-            (spool, key, index, spec, task.task_id, self.seed, bound,
-             deps)
-            for index, bound in enumerate(spool.shard_bounds(count))
+            (spool, key, index, spec, task.task_id, self.seed,
+             bounds[index], deps)
+            for index in range(skip, len(bounds))
         )
-        for index, meta in enumerate(
+        for offset, meta in enumerate(
             pool.ordered_map(_property_shard_part, jobs)
         ):
+            index = skip + offset
             spool.record_property_shard(key, index, meta, role=role)
+            ledger.ack_shard(key, "property", index, meta, role=role)
+        ledger.finish_table(key, "property", role=role)
 
     def _apply_node_property(self, task, result, spool, pool):
         type_name, prop_name = task.subject.split(".", 1)
@@ -549,7 +638,34 @@ class ShardedExecutor:
 
     # -- structure and matching --------------------------------------------
 
+    def _edge_restorable(self, edge_name):
+        """True when a completed edge table can be adopted from the
+        spool: its acks are sealed, every part file still verifies,
+        and the structure metadata needed by ``resolve_count`` was
+        recorded.  Verification happens *here*, at the structure task,
+        because a torn part discovered later would need the structure
+        this decision skips."""
+        ledger = self._ledger
+        if not ledger.table_done(edge_name):
+            return False
+        ledger.verified_shards(edge_name)  # truncates (and unseals) on a torn part
+        return (ledger.table_done(edge_name)
+                and ledger.structure_meta(edge_name) is not None)
+
     def _apply_structure(self, task, result, structures, spool):
+        index = self._stage_counters["structure"]
+        self._stage_counters["structure"] = index + 1
+        if self._edge_restorable(task.subject):
+            # The matched edge table will be adopted whole from the
+            # spool; a metadata-only handle keeps derived counts
+            # resolvable without re-generating the structure.
+            meta = self._ledger.structure_meta(task.subject)
+            structures[task.subject] = _StructureHandle(
+                meta["name"], meta["num_edges"], meta["num_tail_nodes"],
+                meta["num_head_nodes"], meta["directed"],
+            )
+            return
+        _faults.fire("structure", index)
         spec, sg_seed, n = structure_inputs(
             self.schema, self.scale, self.seed, task, result.node_counts
         )
@@ -570,9 +686,37 @@ class ShardedExecutor:
                 spool, prefix, table
             )
             del table
+        handle = structures[task.subject]
+        self._ledger.record_structure(task.subject, {
+            "name": handle.name,
+            "num_edges": handle.num_edges,
+            "num_tail_nodes": handle.num_tail_nodes,
+            "num_head_nodes": handle.num_head_nodes,
+            "directed": handle.directed,
+        })
+
+    def _restore_match(self, edge, result, spool):
+        """Adopt a completed edge table from the spool (resume path):
+        re-record the verified acks, seal, and skip matching.  The
+        match-result diagnostic is not reconstructed — it describes
+        the matching *work*, which did not run."""
+        ledger = self._ledger
+        entry = ledger.table(edge.name)
+        for index, meta in enumerate(entry["shards"]):
+            spool.record_edge_shard(edge.name, index, meta)
+        meta = entry["meta"]
+        result.edge_tables[edge.name] = spool.finish_edge(
+            edge.name, meta["num_tail_nodes"], meta["num_head_nodes"],
+            meta["directed"], name=meta["name"],
+        )
+        result.match_results[edge.name] = None
 
     def _apply_match(self, task, result, structures, spool, pool):
         edge = self.schema.edge_type(task.subject)
+        if self._ledger.table_done(edge.name):
+            # Verified by _edge_restorable at the structure task.
+            self._restore_match(edge, result, spool)
+            return
         handle = structures[edge.name]
         tail_count = result.node_counts[edge.tail_type]
         head_count = result.node_counts[edge.head_type]
@@ -588,7 +732,10 @@ class ShardedExecutor:
         if correlated:
             # SBM-Part matching walks the whole structure — the other
             # documented global stage.  Materialise, match with the
-            # exact serial kernel, spill the final table, free.
+            # exact serial kernel, spill the final table, free.  As a
+            # global stage it checkpoints all-or-nothing: a partial
+            # ack prefix from a crashed run is discarded, not resumed.
+            self._ledger.reset_table(edge.name)
             structure = handle.load()
             tail_key = f"{edge.tail_type}.{corr.tail_property}"
             tail_pt = result.node_properties[
@@ -607,7 +754,11 @@ class ShardedExecutor:
             for index, (_, tails, heads) in enumerate(
                 table.iter_chunks(spool.shard_rows)
             ):
-                spool.write_edge_shard(edge.name, index, tails, heads)
+                shard_meta = spool.write_edge_shard(
+                    edge.name, index, tails, heads
+                )
+                self._ledger.ack_shard(edge.name, "edge", index,
+                                       shard_meta)
             meta = (
                 table.num_tail_nodes, table.num_head_nodes,
                 table.directed,
@@ -629,6 +780,12 @@ class ShardedExecutor:
             edge.name, *meta, name=table_name
         )
         result.match_results[edge.name] = match
+        self._ledger.finish_table(edge.name, "edge", meta={
+            "num_tail_nodes": meta[0],
+            "num_head_nodes": meta[1],
+            "directed": meta[2],
+            "name": table_name,
+        })
 
     def _match_streaming(self, task, edge, handle, tail_count,
                          head_count, spool, strict, pool):
@@ -686,18 +843,25 @@ class ShardedExecutor:
                 head_map = tail_map
             elif head_map is not None:
                 head_map = spill("head_map", head_map)
+        ledger = self._ledger
+        acked = ledger.verified_shards(edge.name)
+        total = -(-handle.num_edges // spool.shard_rows)
+        skip = min(len(acked), total)
+        for index in range(skip):
+            spool.record_edge_shard(edge.name, index, acked[index])
         jobs = (
-            (spool, edge.name, index, handle, lo,
-             min(lo + spool.shard_rows, handle.num_edges), tail_map,
-             head_map)
-            for index, lo in enumerate(
-                range(0, handle.num_edges, spool.shard_rows)
-            )
+            (spool, edge.name, index, handle,
+             index * spool.shard_rows,
+             min((index + 1) * spool.shard_rows, handle.num_edges),
+             tail_map, head_map)
+            for index in range(skip, total)
         )
-        for index, meta in enumerate(
+        for offset, meta in enumerate(
             pool.ordered_map(_relabel_shard_part, jobs)
         ):
+            index = skip + offset
             spool.record_edge_shard(edge.name, index, meta)
+            ledger.ack_shard(edge.name, "edge", index, meta)
         return n_tail, n_head, handle.directed
 
 

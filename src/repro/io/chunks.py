@@ -141,10 +141,20 @@ def open_text(path, mode="r", compress=None):
     if mode not in ("r", "w"):
         raise ValueError(f"open_text supports 'r'/'w', got {mode!r}")
     if not compress:
-        return open(path, mode, encoding="utf-8", newline="")
-    if mode == "r":
-        return gzip.open(path, "rt", encoding="utf-8", newline="")
-    return _GzipTextWriter(path)
+        handle = open(path, mode, encoding="utf-8", newline="")
+    elif mode == "r":
+        handle = gzip.open(path, "rt", encoding="utf-8", newline="")
+    else:
+        handle = _GzipTextWriter(path)
+    if mode == "w":
+        # Export writes are the `export` fault-injection site; the
+        # wrapper is the identity when no fault plan targets it.
+        # Imported lazily: repro.io and repro.core import each other
+        # at module level through spool/sharded, so a top-level import
+        # here could observe a partially initialised package.
+        from ..core import faults
+        handle = faults.wrap_export_handle(handle)
+    return handle
 
 
 # -- column -> string conversion ----------------------------------------------

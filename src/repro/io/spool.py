@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import shutil
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -47,6 +48,7 @@ __all__ = [
     "spill_array",
     "spill_create",
     "spill_seal",
+    "verify_digest",
     "SHARD_MANIFEST_NAME",
 ]
 
@@ -61,6 +63,38 @@ def _dtype_token(dtype):
 def _save(path, array):
     path.parent.mkdir(parents=True, exist_ok=True)
     np.save(path, array, allow_pickle=array.dtype.kind == "O")
+
+
+def _digest(root, path):
+    """Size + CRC32 of one part file, keyed by its spool-relative path
+    — the integrity record the checkpoint ledger verifies on resume."""
+    crc = 0
+    size = 0
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(1 << 20)
+            if not block:
+                break
+            size += len(block)
+            crc = zlib.crc32(block, crc)
+    return {
+        "path": path.relative_to(root).as_posix(),
+        "bytes": size,
+        "crc": crc,
+    }
+
+
+def verify_digest(root, meta):
+    """True when the part file named by a digest dict still matches
+    its recorded size and CRC (missing/short/corrupt -> False)."""
+    root = Path(root)
+    path = root / meta["path"]
+    try:
+        fresh = _digest(root, path)
+    except OSError:
+        return False
+    return (fresh["bytes"] == int(meta["bytes"])
+            and fresh["crc"] == int(meta["crc"]))
 
 
 def _load(path, dtype_kind):
@@ -257,10 +291,12 @@ class TableSpool:
         channel, the queue carries only this dict.
         """
         values = np.asarray(values)
-        _save(self._part_path(index, key), values)
+        path = self._part_path(index, key)
+        _save(path, values)
         return {
             "rows": int(values.size),
             "dtype": _dtype_token(values.dtype),
+            "files": [_digest(self.directory, path)],
         }
 
     def record_property_shard(self, key, index, meta, role="property"):
@@ -277,13 +313,9 @@ class TableSpool:
 
     def write_property_shard(self, key, index, values, role="property"):
         """Persist one id-range shard of a property column."""
-        values = np.asarray(values)
-        meta = {
-            "rows": int(values.size),
-            "dtype": _dtype_token(values.dtype),
-        }
+        meta = self.save_property_part(index, key, values)
         self.record_property_shard(key, index, meta, role=role)
-        _save(self._part_path(index, key), values)
+        return meta
 
     def save_edge_part(self, index, key, tails, heads):
         """Persist one edge shard's part files (any process)."""
@@ -293,9 +325,17 @@ class TableSpool:
             raise ValueError(
                 f"table {key!r}: shard {index} tails/heads differ"
             )
-        _save(self._part_path(index, key, "tails"), tails)
-        _save(self._part_path(index, key, "heads"), heads)
-        return {"rows": int(tails.size)}
+        tails_path = self._part_path(index, key, "tails")
+        heads_path = self._part_path(index, key, "heads")
+        _save(tails_path, tails)
+        _save(heads_path, heads)
+        return {
+            "rows": int(tails.size),
+            "files": [
+                _digest(self.directory, tails_path),
+                _digest(self.directory, heads_path),
+            ],
+        }
 
     def record_edge_shard(self, key, index, meta):
         """Record one acked edge-shard part (in shard order)."""
@@ -309,14 +349,9 @@ class TableSpool:
 
     def write_edge_shard(self, key, index, tails, heads):
         """Persist one id-range shard of an edge table's columns."""
-        tails = np.ascontiguousarray(tails, dtype=np.int64)
-        heads = np.ascontiguousarray(heads, dtype=np.int64)
-        if tails.size != heads.size:
-            raise ValueError(
-                f"table {key!r}: shard {index} tails/heads differ"
-            )
-        self.record_edge_shard(key, index, {"rows": int(tails.size)})
-        self.save_edge_part(index, key, tails, heads)
+        meta = self.save_edge_part(index, key, tails, heads)
+        self.record_edge_shard(key, index, meta)
+        return meta
 
     def finish_property(self, key, name=None):
         """Seal a property table: a :class:`SpooledPropertyTable`."""

@@ -629,7 +629,8 @@ def compile_scenario(spec, scale=None, seed=None):
 def run_scenario(compiled, workers=1, out_dir=None, formats=None,
                  chunk_size=None, compress=None, validate=True,
                  shard_rows=None, memory_budget=None,
-                 backend="thread"):
+                 backend="thread", spool_dir=None, resume=False,
+                 retries=0, faults=None):
     """Generate, export, and grade a compiled scenario.
 
     Parameters
@@ -660,6 +661,12 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
         ``"process"`` — processes sidestep the GIL for CPU-bound
         pipelines and also parallelise export formatting; output
         bytes are identical either way.
+    spool_dir, resume, retries, faults:
+        fault-tolerance controls for sharded mode, passed through to
+        :class:`~repro.core.sharded.ShardedExecutor`: an explicit
+        spool (preserved on failure), checkpoint resume from it,
+        per-shard retry budget, and a deterministic fault plan (see
+        docs/robustness.md).  ``resume=True`` implies sharded mode.
 
     Returns ``(graph, report, written)`` — the generated
     :class:`~repro.core.result.PropertyGraph` (a
@@ -681,7 +688,8 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
     compress = (
         spec.export_compress if compress is None else compress
     )
-    sharded = shard_rows is not None or memory_budget is not None
+    sharded = (shard_rows is not None or memory_budget is not None
+               or resume)
     executor = None
     if sharded:
         from ..core.sharded import ShardedExecutor
@@ -689,7 +697,8 @@ def run_scenario(compiled, workers=1, out_dir=None, formats=None,
         executor = ShardedExecutor(
             compiled.schema, compiled.scale, seed=compiled.seed,
             shard_rows=shard_rows, memory_budget=memory_budget,
-            workers=workers, backend=backend,
+            workers=workers, backend=backend, spool_dir=spool_dir,
+            resume=resume, retries=retries, faults=faults,
         )
         # Export chunks must not exceed the shard size, or the sink
         # would pull whole-table slices back into memory.  Chunk size

@@ -7,7 +7,8 @@ by exploiting the PG/SG random-access protocol
 :attr:`~repro.structure.base.StructureGenerator.access`).
 """
 
-from .http import create_server, serve
+from .http import create_server, install_signal_handlers, serve
 from .virtual import VirtualGraph
 
-__all__ = ["VirtualGraph", "create_server", "serve"]
+__all__ = ["VirtualGraph", "create_server", "install_signal_handlers",
+           "serve"]

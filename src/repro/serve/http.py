@@ -12,6 +12,8 @@ tests and the CI smoke job diff against.
 Routes (all ``GET``)::
 
     /                                    meta + access classification
+    /healthz                             liveness (always 200 once bound)
+    /readyz                              readiness (503 while warming)
     /nodes/<Type>?offset&limit           JSON-lines node records
     /nodes/<Type>/<id>                   one node record (JSON)
     /properties/<Type>/<prop>?offset&limit&format=csv|jsonl
@@ -27,11 +29,21 @@ limit <= max_limit`` (default page ``DEFAULT_LIMIT``); an offset at or
 past the end returns an **empty 200 page**, never an error; malformed
 parameters are 400 and unknown names/ids are 404, both with JSON
 error bodies ``{"error": ..., "status": ...}``.
+
+Robustness contract (see docs/robustness.md): every connection gets a
+per-request socket timeout so a stalled client cannot pin a handler
+thread; while the virtual graph warms, data routes answer **503 with
+``Retry-After``** (``/healthz`` stays 200 — the process is alive, not
+ready); and :func:`install_signal_handlers` arranges a graceful
+SIGTERM/SIGINT drain — stop accepting, finish in-flight requests,
+then run the cleanup callback (closing the graph unlinks its spool).
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -45,13 +57,17 @@ from ..io.chunks import (
     json_encode_column,
 )
 
-__all__ = ["DEFAULT_LIMIT", "MAX_LIMIT", "GraphRequestHandler",
-           "create_server", "serve"]
+__all__ = ["DEFAULT_LIMIT", "DEFAULT_REQUEST_TIMEOUT", "MAX_LIMIT",
+           "GraphHTTPServer", "GraphRequestHandler", "create_server",
+           "install_signal_handlers", "serve"]
 
 #: rows per page when the client does not say.
 DEFAULT_LIMIT = 1_000
 #: hard per-request row ceiling — keeps any one response O(page).
 MAX_LIMIT = 65_536
+#: per-connection socket timeout (seconds) — a stalled client times
+#: out instead of pinning a handler thread forever.
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 class _HTTPError(Exception):
@@ -103,21 +119,34 @@ class GraphRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
+    def setup(self):
+        # BaseHTTPRequestHandler honours a class/instance ``timeout``
+        # by calling settimeout on the connection during setup; a
+        # read that stalls past it closes the connection instead of
+        # pinning the handler thread.
+        self.timeout = getattr(
+            self.server, "request_timeout", DEFAULT_REQUEST_TIMEOUT
+        )
+        super().setup()
+
     def log_message(self, format, *args):  # noqa: A002 - stdlib name
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send(self, status, body, content_type):
+    def _send(self, status, body, content_type, headers=()):
         payload = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for key, value in headers:
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, obj, status=200):
+    def _send_json(self, obj, status=200, headers=()):
         self._send(
-            status, json.dumps(obj) + "\n", "application/json"
+            status, json.dumps(obj) + "\n", "application/json",
+            headers=headers,
         )
 
     def _send_error_json(self, status, message):
@@ -146,6 +175,27 @@ class GraphRequestHandler(BaseHTTPRequestHandler):
 
     def _route(self, parts, params):
         graph = self.server.graph
+        ready = self.server.ready.is_set()
+        if parts == ["healthz"]:
+            # Liveness: answers 200 the moment the socket is bound —
+            # orchestrators must not kill a pod for still warming up.
+            return self._send_json(
+                {"status": "ok", "ready": ready}
+            )
+        if parts == ["readyz"]:
+            if ready:
+                return self._send_json({"status": "ready"})
+            return self._send_json(
+                {"status": "warming"}, status=503,
+                headers=(("Retry-After", "1"),),
+            )
+        if not ready:
+            # Degraded mode: data routes refuse politely while edge
+            # states warm, instead of racing half-built state.
+            return self._send_json(
+                {"error": "virtual graph is warming up", "status": 503},
+                status=503, headers=(("Retry-After", "1"),),
+            )
         if not parts:
             return self._send_json({
                 "service": "repro-serve",
@@ -304,29 +354,84 @@ class GraphRequestHandler(BaseHTTPRequestHandler):
         })
 
 
+class GraphHTTPServer(ThreadingHTTPServer):
+    """Threading server with a readiness gate and a draining close.
+
+    ``block_on_close``/non-daemon handler threads mean
+    ``server_close()`` *waits* for in-flight requests — the graceful
+    half of the drain contract; ``shutdown()`` (from a signal handler
+    thread) stops the accept loop, the other half.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+
 def create_server(graph, host="127.0.0.1", port=0, *,
                   default_limit=DEFAULT_LIMIT, max_limit=MAX_LIMIT,
-                  verbose=False):
-    """Bind a :class:`ThreadingHTTPServer` over ``graph``.
+                  verbose=False, ready=True,
+                  request_timeout=DEFAULT_REQUEST_TIMEOUT):
+    """Bind a :class:`GraphHTTPServer` over ``graph``.
 
     ``port=0`` binds an ephemeral port (tests, smoke jobs) — read it
     back from ``server.server_address``.  The caller owns both the
     server (``server_close``) and the graph (``graph.close``).
+
+    ``ready=False`` starts in degraded mode: data routes answer 503
+    (``Retry-After``) until ``server.ready.set()`` — the CLI warms the
+    graph in the background and flips the gate when edge states are
+    built, so ``/healthz`` responds from the first instant.
     """
-    server = ThreadingHTTPServer((host, port), GraphRequestHandler)
+    server = GraphHTTPServer((host, port), GraphRequestHandler)
     server.graph = graph
     server.default_limit = int(default_limit)
     server.max_limit = int(max_limit)
     server.verbose = bool(verbose)
+    server.request_timeout = (
+        None if request_timeout is None else float(request_timeout)
+    )
+    server.ready = threading.Event()
+    if ready:
+        server.ready.set()
     return server
 
 
-def serve(graph, host="127.0.0.1", port=8080, **kwargs):
-    """Warm the graph's edge states and serve until interrupted."""
+def install_signal_handlers(server, signals=(signal.SIGTERM, signal.SIGINT)):
+    """Translate SIGTERM/SIGINT into a graceful drain.
+
+    ``shutdown()`` must not be called from the ``serve_forever``
+    thread (it deadlocks), and a signal handler runs exactly there —
+    so the handler hands it to a short-lived thread.  After
+    ``serve_forever`` returns, the caller's ``finally`` block runs
+    ``server_close()`` (waits for in-flight requests) and closes the
+    graph, which unlinks any owned spool.
+    """
+    def _drain(signum, frame):
+        threading.Thread(
+            target=server.shutdown, name="repro-serve-drain", daemon=True
+        ).start()
+
+    for signum in signals:
+        signal.signal(signum, _drain)
+
+
+def serve(graph, host="127.0.0.1", port=8080, *, install_signals=False,
+          **kwargs):
+    """Warm the graph's edge states and serve until drained.
+
+    ``install_signals=True`` adds the SIGTERM/SIGINT drain and closes
+    the graph (unlinking its spool) on the way out — the behaviour
+    ``repro serve`` ships; library callers keep graph ownership by
+    default.
+    """
     graph.warm()
     server = create_server(graph, host, port, **kwargs)
+    if install_signals:
+        install_signal_handlers(server)
     try:
         server.serve_forever()
     finally:
         server.server_close()
+        if install_signals:
+            graph.close()
     return server

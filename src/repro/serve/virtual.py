@@ -225,7 +225,14 @@ class VirtualGraph:
         )
 
     def close(self):
-        """Remove the spool (owned directories only)."""
+        """Release mmap'd views; remove the spool when owned.
+
+        Always drops the memory-mapped match maps (a borrowed spool
+        keeps its files, but this graph's handles are closed), then
+        unlinks owned directories — the signal-drain path relies on
+        this to leave no ``repro-serve-*`` tempdir behind.
+        """
+        self._spool.close_views()
         if self._owns_spool:
             self._spool.cleanup()
 

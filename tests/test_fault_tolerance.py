@@ -1,0 +1,287 @@
+"""Fault-tolerant sharded pipelines: checkpoint/resume, retry, faults.
+
+The robustness contract (docs/robustness.md) is byte-identity under
+failure: a run killed at *any* stage boundary and resumed from its
+spool checkpoint must export exactly the bytes of an uninterrupted
+run.  These tests pin that claim with a deterministic fault-injection
+harness (``repro.core.faults``) across every pipeline stage, both
+pool backends, and both retry paths (in-run respawn and cross-run
+resume), plus the ledger/fingerprint and spec-grammar layers under it.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    CheckpointError,
+    CheckpointLedger,
+    FaultPlan,
+    InjectedFault,
+    ShardedError,
+    ShardedExecutor,
+    parse_faults,
+    run_fingerprint,
+)
+from repro.core.faults import plan_from_env
+from repro.core.schema import (
+    EdgeType,
+    GeneratorSpec,
+    NodeType,
+    PropertyDef,
+    Schema,
+)
+from repro.io import make_sink
+
+SCALE = {"T": 200}
+SHARD_ROWS = 64  # 200 rows -> 4 property shards, several edge shards
+
+
+def _tiny_schema():
+    schema = Schema(node_types=[
+        NodeType("T", properties=[
+            PropertyDef("x", "long", GeneratorSpec(
+                "uniform_int", {"low": 0, "high": 100}
+            )),
+        ]),
+    ])
+    schema.add_edge_type(EdgeType(
+        "e", tail_type="T", head_type="T",
+        structure=GeneratorSpec("erdos_renyi_m", {"edges_per_node": 3}),
+    ))
+    return schema
+
+
+def _tree_bytes(root):
+    root = Path(root)
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def _run(out, spool, *, fmt="csv", compress=None, backend="thread",
+         workers=1, resume=False, retries=0, faults=None, seed=0):
+    executor = ShardedExecutor(
+        _tiny_schema(), SCALE, seed=seed, shard_rows=SHARD_ROWS,
+        workers=workers, backend=backend, spool_dir=spool,
+        resume=resume, retries=retries, backoff=0.01, faults=faults,
+    )
+    # Small export chunks so the ``export`` fault site sees several
+    # write calls per file in every format (jsonl writes one chunk per
+    # file at the default chunk size).
+    return executor.run(sink=make_sink(
+        fmt, out, chunk_size=64, compress=compress
+    ))
+
+
+@pytest.fixture(scope="module")
+def expected_csv(tmp_path_factory):
+    base = tmp_path_factory.mktemp("clean")
+    _run(base / "out", base / "spool")
+    return _tree_bytes(base / "out")
+
+
+def _assert_same_tree(got_dir, expected):
+    got = _tree_bytes(got_dir)
+    assert got.keys() == expected.keys()
+    for key in expected:
+        assert got[key] == expected[key], key
+
+
+# One fault per pipeline stage.  Indices picked so each actually fires
+# on the tiny schema (count/structure have one occurrence; property and
+# match have one per shard; export one per formatted chunk written).
+STAGE_FAULTS = {
+    "count": "count:0:crash",
+    "property": "property:1:crash",
+    "structure": "structure:0:crash",
+    "match": "match:1:crash",
+    "export": "export:2:ioerror",
+}
+
+
+class TestCrashMatrix:
+    """Acceptance matrix: crash at each stage x backend x workers,
+    then ``resume`` -> export byte-identical to an uninterrupted run."""
+
+    @pytest.mark.parametrize("stage", sorted(STAGE_FAULTS))
+    @pytest.mark.parametrize("backend,workers", [
+        ("thread", 1), ("thread", 4), ("process", 1), ("process", 4),
+    ])
+    def test_crash_then_resume_is_byte_identical(
+        self, expected_csv, tmp_path, stage, backend, workers
+    ):
+        out, spool = tmp_path / "out", tmp_path / "spool"
+        with pytest.raises((InjectedFault, OSError, ShardedError)):
+            _run(out, spool, backend=backend, workers=workers,
+                 faults=STAGE_FAULTS[stage])
+        assert (spool / "checkpoint.json").exists()
+        _run(out, spool, backend=backend, workers=workers, resume=True)
+        _assert_same_tree(out, expected_csv)
+
+    def test_resume_requires_explicit_spool(self):
+        with pytest.raises(ValueError, match="resume requires"):
+            ShardedExecutor(
+                _tiny_schema(), SCALE, shard_rows=SHARD_ROWS, resume=True
+            )
+
+    def test_resume_of_untouched_spool_is_a_clean_run(
+        self, expected_csv, tmp_path
+    ):
+        # No checkpoint at all: resume degrades to a fresh run.
+        out, spool = tmp_path / "out", tmp_path / "spool"
+        _run(out, spool, resume=True)
+        _assert_same_tree(out, expected_csv)
+
+
+class TestInterruptedSinks:
+    """A sink that died mid-file is fully rewritten on resume: the
+    truncated/partial export can never leak into the final bytes."""
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    @pytest.mark.parametrize("compress", [None, "gzip"])
+    def test_export_ioerror_then_resume(self, tmp_path, fmt, compress):
+        clean = tmp_path / "clean"
+        _run(clean, tmp_path / "clean-spool", fmt=fmt, compress=compress)
+        out, spool = tmp_path / "out", tmp_path / "spool"
+        with pytest.raises(OSError):
+            _run(out, spool, fmt=fmt, compress=compress,
+                 faults="export:2:ioerror")
+        # The interrupted run must leave a truncated/short export tree.
+        assert _tree_bytes(out) != _tree_bytes(clean)
+        _run(out, spool, fmt=fmt, compress=compress, resume=True)
+        _assert_same_tree(out, _tree_bytes(clean))
+
+
+class TestRetries:
+    def test_retries_recover_sigkilled_worker(self, expected_csv,
+                                              tmp_path):
+        """Acceptance: ``retries=2`` survives a SIGKILL'd worker with
+        no manual intervention and unchanged output bytes."""
+        out = tmp_path / "out"
+        _run(out, tmp_path / "spool", backend="process", workers=2,
+             retries=2, faults="shard:1:kill")
+        _assert_same_tree(out, expected_csv)
+
+    def test_retries_recover_worker_exception(self, expected_csv,
+                                              tmp_path):
+        out = tmp_path / "out"
+        _run(out, tmp_path / "spool", backend="process", workers=2,
+             retries=1, faults="property:1:crash")
+        _assert_same_tree(out, expected_csv)
+
+    def test_exhausted_retries_surface_shard_and_traceback(
+        self, tmp_path
+    ):
+        """Regression: the worker traceback must survive the process
+        boundary, and the error names the failing shard."""
+        with pytest.raises(ShardedError) as excinfo:
+            _run(tmp_path / "out", tmp_path / "spool",
+                 backend="process", workers=2, retries=1,
+                 faults="property:1:crash:x5")
+        exc = excinfo.value
+        assert exc.shard == 1
+        assert "InjectedFault" in (exc.worker_traceback or "")
+        assert "worker traceback" in str(exc)
+        assert "after 2 attempts" in str(exc)
+
+
+class TestLedger:
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        out, spool = tmp_path / "out", tmp_path / "spool"
+        with pytest.raises(InjectedFault):
+            _run(out, spool, faults="match:1:crash")
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            _run(out, spool, resume=True, seed=1)
+
+    def test_sink_format_is_part_of_the_fingerprint(self, tmp_path):
+        # A half-written CSV export must not resume as JSONL.
+        out, spool = tmp_path / "out", tmp_path / "spool"
+        with pytest.raises(InjectedFault):
+            _run(out, spool, fmt="csv", faults="match:1:crash")
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            _run(out, spool, fmt="jsonl", resume=True)
+
+    def test_torn_part_is_regenerated_on_resume(self, expected_csv,
+                                                tmp_path):
+        """Shard acks carry size+CRC digests: a part file truncated
+        after the crash (torn write, disk fault) is detected and the
+        shard re-run instead of trusted."""
+        out, spool = tmp_path / "out", tmp_path / "spool"
+        with pytest.raises(InjectedFault):
+            _run(out, spool, faults="match:1:crash")
+        parts = sorted(spool.glob("shards/*/T.x.npy"))
+        assert parts, "expected spooled property parts"
+        with open(parts[-1], "r+b") as handle:
+            handle.truncate(max(handle.seek(0, 2) // 2, 1))
+        _run(out, spool, resume=True)
+        _assert_same_tree(out, expected_csv)
+
+    def test_fingerprint_sensitivity(self):
+        schema = _tiny_schema()
+        base = run_fingerprint(schema, SCALE, 0, 64, "csv")
+        assert base == run_fingerprint(schema, SCALE, 0, 64, "csv")
+        assert base != run_fingerprint(schema, SCALE, 1, 64, "csv")
+        assert base != run_fingerprint(schema, SCALE, 0, 32, "csv")
+        assert base != run_fingerprint(schema, SCALE, 0, 64, "jsonl")
+        assert base != run_fingerprint(schema, {"T": 300}, 0, 64, "csv")
+
+    def test_out_of_order_ack_rejected(self, tmp_path):
+        ledger = CheckpointLedger.fresh(tmp_path, "fp")
+        meta = {"rows": 1, "files": []}
+        ledger.ack_shard("k", "property", 0, meta)
+        with pytest.raises(CheckpointError):
+            ledger.ack_shard("k", "property", 2, meta)
+        # Idempotent re-ack of a recorded shard is fine (resume path).
+        ledger.ack_shard("k", "property", 0, meta)
+
+
+class TestFaultSpecs:
+    def test_parse_round_trip(self):
+        text = "shard:3:crash export:2:ioerror,shard:5:slow=2.5:x3"
+        specs = parse_faults(text)
+        assert [s.text() for s in specs] == [
+            "shard:3:crash", "export:2:ioerror", "shard:5:slow=2.5:x3",
+        ]
+        assert specs[2].value == 2.5 and specs[2].times == 3
+
+    @pytest.mark.parametrize("bad", [
+        "shard:3", "bogus:1:crash", "shard:1:explode",
+        "shard:x:crash", "shard:1:slow",
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_faults(bad)
+
+    def test_plan_fires_at_most_times(self, tmp_path):
+        plan = FaultPlan("count:0:crash:x2", state_dir=tmp_path)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.fire("count", 0)
+        plan.fire("count", 0)  # exhausted: no-op
+        assert plan.fired_count(plan.specs[0]) == 3
+        plan.reset()
+        with pytest.raises(InjectedFault):
+            plan.fire("count", 0)
+
+    def test_plan_pickles_with_shared_state(self, tmp_path):
+        plan = FaultPlan("shard:1:crash", state_dir=tmp_path)
+        with pytest.raises(InjectedFault):
+            plan.fire("shard", 1)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.state_dir == plan.state_dir
+        clone.fire("shard", 1)  # already fired in the original: no-op
+
+    def test_plan_from_env(self, tmp_path):
+        assert plan_from_env({}) is None
+        plan = plan_from_env({
+            "REPRO_FAULTS": "export:0:ioerror",
+            "REPRO_FAULTS_STATE": str(tmp_path),
+        })
+        assert plan.text == "export:0:ioerror"
+        assert plan.state_dir == str(tmp_path)

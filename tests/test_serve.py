@@ -490,6 +490,159 @@ class TestHttpContract:
             assert got[0][0] == 200
 
 
+class TestServeRobustness:
+    """Health endpoints, warmup degradation, graceful drain, timeouts
+    (the serving half of docs/robustness.md)."""
+
+    def _spin(self, server):
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def test_healthz_and_readyz_track_warmup(self, http_server):
+        _, _, virtual = http_server
+        server = create_server(virtual, port=0, ready=False)
+        base = self._spin(server)
+        try:
+            status, body, _ = _get(base, "/healthz")
+            assert status == 200
+            assert json.loads(body) == {"status": "ok", "ready": False}
+            status, body, _ = _get(base, "/readyz")
+            assert status == 503
+            assert json.loads(body)["status"] == "warming"
+            # Data routes degrade with 503 + Retry-After, not errors.
+            try:
+                urllib.request.urlopen(base + "/nodes/Person?limit=1")
+                raise AssertionError("expected 503 while warming")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 503
+                assert exc.headers.get("Retry-After") == "1"
+                assert "warming" in json.loads(exc.read().decode())["error"]
+            server.ready.set()
+            status, body, _ = _get(base, "/healthz")
+            assert json.loads(body) == {"status": "ok", "ready": True}
+            status, body, _ = _get(base, "/readyz")
+            assert status == 200
+            status, _, _ = _get(base, "/nodes/Person?limit=1")
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_request_timeout_is_plumbed_and_enforced(self, http_server):
+        import socket
+
+        _, _, virtual = http_server
+        server = create_server(virtual, port=0, request_timeout=0.5)
+        assert server.request_timeout == 0.5
+        base = self._spin(server)
+        host, port = base.rsplit("//", 1)[1].split(":")
+        try:
+            # A client that connects and never finishes its request
+            # line must be hung up on, not hold a handler thread.
+            conn = socket.create_connection((host, int(port)), timeout=10)
+            conn.settimeout(10)
+            conn.sendall(b"GET /healthz HTTP/1.1\r\n")  # no final CRLF
+            got = conn.recv(4096)
+            assert got == b""  # server closed the half-open request
+            conn.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_graceful_drain_completes_inflight_requests(
+        self, http_server
+    ):
+        """shutdown + server_close must finish in-flight requests
+        (block_on_close) rather than dropping them mid-response."""
+        _, _, virtual = http_server
+        entered, release = threading.Event(), threading.Event()
+
+        class SlowGraph:
+            def __getattr__(self, name):
+                return getattr(virtual, name)
+
+            def node_records(self, *args, **kwargs):
+                entered.set()
+                release.wait(10)
+                return virtual.node_records(*args, **kwargs)
+
+        server = create_server(SlowGraph(), port=0)
+        base = self._spin(server)
+        responses = []
+        request = threading.Thread(
+            target=lambda: responses.append(
+                _get(base, "/nodes/Person?limit=1")
+            ),
+        )
+        request.start()
+        assert entered.wait(10)
+        server.shutdown()  # stop accepting; in-flight keeps running
+        closer = threading.Thread(target=server.server_close)
+        closer.start()
+        closer.join(0.3)
+        assert closer.is_alive()  # drain is blocked on our request
+        release.set()
+        closer.join(10)
+        assert not closer.is_alive()
+        request.join(10)
+        status, body, _ = responses[0]
+        assert status == 200
+        assert json.loads(body.splitlines()[0])["id"] == 0
+
+    def test_cli_sigint_exits_clean_without_leaking_spool(
+        self, tmp_path
+    ):
+        """Regression: Ctrl-C on ``repro serve`` must drain, exit 0,
+        and remove the owned spool/mmap tempdir."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["TMPDIR"] = str(tmp_path)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "social_network", "--scale", "Person=60", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "serving" in line and "http://" in line, line
+            base = line.split("on ", 1)[1].strip().rstrip("/")
+            deadline = time.monotonic() + 60
+            while True:  # poll /readyz until warm
+                try:
+                    urllib.request.urlopen(base + "/readyz", timeout=5)
+                    break
+                except urllib.error.HTTPError as exc:
+                    if exc.code != 503 or time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.05)
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait()
+        leaked = [
+            p.name for p in tmp_path.iterdir()
+            if p.name.startswith(("repro-serve-", "repro-spool-"))
+        ]
+        assert leaked == []
+
+
 class TestSequentialGenerators501:
     def test_sequential_property_maps_to_501(self, tmp_path):
         class SequentialPG(PropertyGenerator):

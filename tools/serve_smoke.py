@@ -35,6 +35,61 @@ def _get(base, path):
         return response.read()
 
 
+def _boot_cli(scenario, scale_args):
+    """Boot the server as the real CLI (``repro serve --port 0``).
+
+    Returns ``(base_url, stop)`` where ``stop()`` SIGTERMs the process
+    and asserts the graceful-drain contract: exit code 0 and no leaked
+    ``repro-serve-*`` spool.  The chosen port is read back from the
+    first stdout line — the same line operators script against.
+    """
+    import os
+    import signal
+    import subprocess
+    import time
+    import urllib.error
+
+    tmp = tempfile.mkdtemp(prefix="repro-serve-smoke-tmp-")
+    env = dict(os.environ)
+    env["TMPDIR"] = tmp
+    cmd = [sys.executable, "-m", "repro.cli", "serve", scenario,
+           "--port", "0"]
+    for item in scale_args:
+        cmd += ["--scale", item]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True, env=env)
+    line = proc.stdout.readline()
+    if "http://" not in line:
+        proc.kill()
+        raise SystemExit(f"serve did not announce an address: {line!r}")
+    base = line.split("on ", 1)[1].strip().rstrip("/")
+    deadline = time.monotonic() + 120
+    while True:  # data routes 503 until warm; poll readiness
+        try:
+            _get(base, "/readyz")
+            break
+        except urllib.error.HTTPError as exc:
+            if exc.code != 503 or time.monotonic() > deadline:
+                proc.kill()
+                raise
+            time.sleep(0.1)
+
+    def stop():
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        leaked = [name for name in os.listdir(tmp)
+                  if name.startswith(("repro-serve-", "repro-spool-"))]
+        ok = _check("CLI SIGTERM drains cleanly",
+                    code == 0 and not leaked,
+                    f"exit={code} leaked={leaked}")
+        import shutil
+
+        shutil.rmtree(tmp, ignore_errors=True)
+        return ok
+
+    return base, stop
+
+
 def _paged_csv(base, route, header, page):
     """Reassemble one CSV file from paginated responses — the client
     loop the pagination contract promises: walk ``offset += limit``
@@ -64,6 +119,12 @@ def main(argv=None):
     parser.add_argument("--page", type=int, default=97,
                         help="page size for reassembly (a non-divisor "
                              "exercises partial final pages)")
+    parser.add_argument("--boot", choices=["inprocess", "cli"],
+                        default="inprocess",
+                        help="'cli' boots `repro serve --port 0` as a "
+                             "subprocess, reads the chosen port back "
+                             "from stdout, and asserts the SIGTERM "
+                             "graceful-drain contract on teardown")
     args = parser.parse_args(argv)
 
     from repro.io.csv_io import export_graph_csv
@@ -99,13 +160,19 @@ def main(argv=None):
     written = {p.stem: p for p in export_graph_csv(graph, out_dir)
                if p.suffix == ".csv"}
 
-    # The subject: a virtual graph served over loopback HTTP.
-    virtual = VirtualGraph.from_scenario(compiled, chunk_rows=512)
-    virtual.warm()
-    server = create_server(virtual, port=0)
-    threading.Thread(target=server.serve_forever, daemon=True).start()
-    host, port = server.server_address[:2]
-    base = f"http://{host}:{port}"
+    # The subject: a virtual graph served over loopback HTTP — either
+    # in-process, or as the real CLI subprocess (--boot cli).
+    virtual = server = stop_cli = None
+    if args.boot == "cli":
+        base, stop_cli = _boot_cli(args.scenario, args.scale)
+    else:
+        virtual = VirtualGraph.from_scenario(compiled, chunk_rows=512)
+        virtual.warm()
+        server = create_server(virtual, port=0)
+        threading.Thread(target=server.serve_forever,
+                         daemon=True).start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
 
     failures = 0
     try:
@@ -193,9 +260,13 @@ def main(argv=None):
         if not _check("past-the-end offset is empty 200", body == b""):
             failures += 1
     finally:
-        server.shutdown()
-        server.server_close()
-        virtual.close()
+        if stop_cli is not None:
+            if not stop_cli():
+                failures += 1
+        else:
+            server.shutdown()
+            server.server_close()
+            virtual.close()
 
     if failures:
         print(f"serve-smoke: {failures} mismatch(es)", file=sys.stderr)
